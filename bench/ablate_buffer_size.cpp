@@ -1,0 +1,42 @@
+// Ablation: prefetch buffer capacity (paper fixes 16 KB = 16 rows/vault).
+// Sweeps 4..64 entries for CAMPS and CAMPS-MOD; the gap between the two
+// replacement policies narrows as capacity pressure disappears.
+#include "bench_common.hpp"
+#include "exp/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace camps;
+  const auto cfg = bench::parse_args(argc, argv);
+  bench::print_banner("Ablation: prefetch buffer entries per vault",
+                      "paper fixes 16 x 1 KB (Table I)", cfg);
+
+  const std::string workload = "MX2";
+  auto base_cfg = cfg.system_config(prefetch::SchemeKind::kBase);
+  const double base_ipc =
+      system::make_workload_system(base_cfg, workload)->run().geomean_ipc;
+
+  exp::Table table({"entries", "CAMPS speedup", "CAMPS-MOD speedup",
+                    "CAMPS-MOD buffer hits", "CAMPS-MOD accuracy"});
+  for (u32 entries : {4u, 8u, 16u, 32u, 64u}) {
+    std::vector<std::string> row{std::to_string(entries)};
+    u64 hits = 0;
+    double acc = 0.0;
+    for (auto scheme :
+         {prefetch::SchemeKind::kCamps, prefetch::SchemeKind::kCampsMod}) {
+      auto sys_cfg = cfg.system_config(scheme);
+      sys_cfg.hmc.vault.buffer.entries = entries;
+      const auto r = system::make_workload_system(sys_cfg, workload)->run();
+      row.push_back(exp::Table::fmt(r.geomean_ipc / base_ipc));
+      if (scheme == prefetch::SchemeKind::kCampsMod) {
+        hits = r.buffer_hits;
+        acc = r.prefetch_accuracy;
+      }
+    }
+    row.push_back(std::to_string(hits));
+    row.push_back(exp::Table::pct(acc));
+    table.add_row(std::move(row));
+  }
+  std::printf("%s", table.to_string().c_str());
+  bench::maybe_write_csv(table);
+  return 0;
+}

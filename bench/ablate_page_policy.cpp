@@ -1,0 +1,35 @@
+// Ablation: row-buffer page policy (Table I fixes open page). Closed page
+// removes row-buffer conflicts at the price of losing row hits; CAMPS's
+// selective fetch+precharge is effectively a *learned* middle ground, which
+// this sweep makes visible.
+#include "bench_common.hpp"
+#include "exp/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace camps;
+  const auto cfg = bench::parse_args(argc, argv);
+  bench::print_banner("Ablation: page policy",
+                      "paper fixes open page (Table I)", cfg);
+
+  exp::Table table({"workload", "scheme", "policy", "IPC", "row hits",
+                    "conflicts", "conflict rate"});
+  for (const std::string workload : {"HM3", "MX2"}) {
+    for (auto scheme :
+         {prefetch::SchemeKind::kNone, prefetch::SchemeKind::kCampsMod}) {
+      for (auto policy : {hmc::PagePolicy::kOpen, hmc::PagePolicy::kClosed}) {
+        auto sys_cfg = cfg.system_config(scheme);
+        sys_cfg.hmc.vault.page_policy = policy;
+        const auto r = system::make_workload_system(sys_cfg, workload)->run();
+        table.add_row({workload, prefetch::to_string(scheme),
+                       policy == hmc::PagePolicy::kOpen ? "open" : "closed",
+                       exp::Table::fmt(r.geomean_ipc),
+                       std::to_string(r.row_hits),
+                       std::to_string(r.row_conflicts),
+                       exp::Table::pct(r.row_conflict_rate)});
+      }
+    }
+  }
+  std::printf("%s", table.to_string().c_str());
+  bench::maybe_write_csv(table);
+  return 0;
+}

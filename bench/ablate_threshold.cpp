@@ -1,0 +1,45 @@
+// Ablation: the RUT utilization threshold (paper fixes it to 4).
+// Sweeps 1..16 for CAMPS-MOD on one workload per class and reports speedup
+// vs BASE plus prefetch volume/accuracy, exposing the coverage/pollution
+// trade-off behind the paper's choice.
+#include "bench_common.hpp"
+#include "exp/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace camps;
+  const auto cfg = bench::parse_args(argc, argv);
+  bench::print_banner("Ablation: RUT utilization threshold",
+                      "paper fixes threshold = 4 (Section 3.1)", cfg);
+
+  const std::vector<std::string> workloads = {"HM2", "LM2", "MX2"};
+  // Baselines (threshold is irrelevant for BASE).
+  std::map<std::string, double> base_ipc;
+  for (const auto& w : workloads) {
+    auto sys_cfg = cfg.system_config(prefetch::SchemeKind::kBase);
+    base_ipc[w] = system::make_workload_system(sys_cfg, w)->run().geomean_ipc;
+  }
+
+  exp::Table table({"threshold", "HM2 speedup", "LM2 speedup", "MX2 speedup",
+                    "prefetches (HM2)", "accuracy (HM2)"});
+  for (u32 threshold : {1u, 2u, 3u, 4u, 6u, 8u, 12u, 16u}) {
+    std::vector<std::string> row{std::to_string(threshold)};
+    u64 prefetches = 0;
+    double accuracy = 0.0;
+    for (const auto& w : workloads) {
+      auto sys_cfg = cfg.system_config(prefetch::SchemeKind::kCampsMod);
+      sys_cfg.scheme_params.camps.utilization_threshold = threshold;
+      const auto r = system::make_workload_system(sys_cfg, w)->run();
+      row.push_back(exp::Table::fmt(r.geomean_ipc / base_ipc[w]));
+      if (w == "HM2") {
+        prefetches = r.prefetches;
+        accuracy = r.prefetch_accuracy;
+      }
+    }
+    row.push_back(std::to_string(prefetches));
+    row.push_back(exp::Table::pct(accuracy));
+    table.add_row(std::move(row));
+  }
+  std::printf("%s", table.to_string().c_str());
+  bench::maybe_write_csv(table);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Shared command-line handling for the figure/table reproduction binaries.
+//
+// Every bench accepts:
+//   --quick        five-times-smaller instruction budget (smoke runs)
+//   --measure=N    detailed-window instructions per core
+//   --warmup=N     warmup instructions per core
+//   --seed=N       workload generation seed
+//   --quiet        suppress per-run progress on stderr
+//   --csv=FILE     additionally write the main table as CSV
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "exp/runner.hpp"
+#include "exp/table.hpp"
+
+namespace camps::bench {
+
+/// CSV output path from --csv= (empty if not requested).
+inline std::string& csv_path() {
+  static std::string path;
+  return path;
+}
+
+/// Writes `table` to the --csv= path, if one was given.
+inline void maybe_write_csv(const exp::Table& table) {
+  if (!csv_path().empty()) {
+    table.write_csv(csv_path());
+    std::fprintf(stderr, "csv written to %s\n", csv_path().c_str());
+  }
+}
+
+inline exp::ExperimentConfig parse_args(int argc, char** argv) {
+  exp::ExperimentConfig cfg;
+  cfg.warmup_instructions = 50'000;
+  cfg.measure_instructions = 250'000;
+  cfg.verbose = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      cfg.warmup_instructions /= 5;
+      cfg.measure_instructions /= 5;
+    } else if (arg.rfind("--measure=", 0) == 0) {
+      cfg.measure_instructions = std::strtoull(arg.c_str() + 10, nullptr, 10);
+    } else if (arg.rfind("--warmup=", 0) == 0) {
+      cfg.warmup_instructions = std::strtoull(arg.c_str() + 9, nullptr, 10);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      cfg.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg == "--quiet") {
+      cfg.verbose = false;
+    } else if (arg.rfind("--csv=", 0) == 0) {
+      csv_path() = arg.substr(6);
+    } else if (arg == "--help") {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--measure=N] [--warmup=N] "
+                   "[--seed=N] [--quiet] [--csv=FILE]\n",
+                   argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s (try --help)\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return cfg;
+}
+
+inline void print_banner(const char* figure, const char* paper_headline,
+                         const exp::ExperimentConfig& cfg) {
+  std::printf("=== %s ===\n", figure);
+  std::printf("paper: %s\n", paper_headline);
+  std::printf("run: %llu warmup + %llu measured instructions/core, seed %llu\n\n",
+              static_cast<unsigned long long>(cfg.warmup_instructions),
+              static_cast<unsigned long long>(cfg.measure_instructions),
+              static_cast<unsigned long long>(cfg.seed));
+}
+
+}  // namespace camps::bench

@@ -1,0 +1,41 @@
+// Extension experiment (not in the paper): multiprogramming fairness.
+// The paper reports geomean IPC (Fig. 5); the multiprogramming literature
+// also asks whether a scheme's gains come at some co-runner's expense.
+// Weighted speedup (throughput in jobs' worth of progress) and harmonic
+// speedup (throughput-fairness balance) both use per-benchmark solo runs
+// as the denominator.
+#include "bench_common.hpp"
+#include "exp/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace camps;
+  const auto cfg = bench::parse_args(argc, argv);
+  bench::print_banner("Extension: weighted / harmonic speedup",
+                      "extension — fairness view of Fig. 5's gains", cfg);
+  exp::Runner runner(cfg);
+
+  const std::vector<prefetch::SchemeKind> schemes = {
+      prefetch::SchemeKind::kBase, prefetch::SchemeKind::kMmd,
+      prefetch::SchemeKind::kCampsMod};
+  exp::Table table({"workload", "WS BASE", "WS MMD", "WS CAMPS-MOD",
+                    "HS BASE", "HS MMD", "HS CAMPS-MOD"});
+  for (const auto& w : {std::string("HM2"), std::string("HM3"),
+                        std::string("LM2"), std::string("MX1"),
+                        std::string("MX2")}) {
+    std::vector<std::string> row{w};
+    for (auto scheme : schemes) {
+      row.push_back(exp::Table::fmt(runner.weighted_speedup(w, scheme), 2));
+    }
+    for (auto scheme : schemes) {
+      row.push_back(exp::Table::fmt(runner.harmonic_speedup(w, scheme), 2));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s", table.to_string().c_str());
+  bench::maybe_write_csv(table);
+  std::printf(
+      "\nWS: weighted speedup, max %u (every job at solo speed).\n"
+      "HS: harmonic speedup, penalizes unfairness.\n",
+      workload::kCoresPerWorkload);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Extension experiment (not in the paper): how CAMPS's benefit scales with
+// the cube generation (vault-level parallelism and link speed), and what
+// link power management (the paper's reference [13]) costs under each
+// scheme.
+#include "bench_common.hpp"
+#include "exp/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace camps;
+  const auto cfg = bench::parse_args(argc, argv);
+  bench::print_banner("Extension: HMC generation + link power management",
+                      "extension — gen1 (16 vaults) vs gen2 (32 vaults), "
+                      "link PM on/off",
+                      cfg);
+
+  struct Variant {
+    const char* name;
+    bool gen1;
+    bool link_pm;
+  };
+  const std::vector<Variant> variants = {
+      {"gen2 (Table I)", false, false},
+      {"gen2 + link PM", false, true},
+      {"gen1", true, false},
+      {"gen1 + link PM", true, true},
+  };
+
+  exp::Table table({"variant", "scheme", "IPC", "mem lat (cyc)",
+                    "link util up", "wakeups"});
+  for (const std::string workload : {"HM2", "LM2"}) {
+    for (const auto& v : variants) {
+      for (auto scheme :
+           {prefetch::SchemeKind::kNone, prefetch::SchemeKind::kCampsMod}) {
+        system::SystemConfig sys_cfg =
+            v.gen1 ? system::hmc_gen1_config(scheme)
+                   : system::table1_config(scheme);
+        sys_cfg.core.warmup_instructions = cfg.warmup_instructions;
+        sys_cfg.core.measure_instructions = cfg.measure_instructions;
+        sys_cfg.seed = cfg.seed;
+        sys_cfg.hmc.link.power_management = v.link_pm;
+        auto sys = system::make_workload_system(sys_cfg, workload);
+        const auto r = sys->run();
+        table.add_row({std::string(v.name) + " / " + workload,
+                       prefetch::to_string(scheme),
+                       exp::Table::fmt(r.geomean_ipc),
+                       exp::Table::fmt(r.mem_latency_cycles, 1),
+                       exp::Table::pct(r.link_up_utilization),
+                       std::to_string(sys->memory().device().link_wakeups())});
+      }
+    }
+  }
+  std::printf("%s", table.to_string().c_str());
+  bench::maybe_write_csv(table);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Table I: the experimental configuration, printed from the live defaults
+// so the docs can never drift from the code.
+#include <cstdio>
+
+#include "exp/table.hpp"
+#include "system/config.hpp"
+
+int main() {
+  using namespace camps;
+  const system::SystemConfig cfg = system::table1_config();
+
+  std::printf("=== Table I: Experimental Configuration ===\n\n");
+  exp::Table table({"component", "configuration"});
+  char buf[256];
+
+  std::snprintf(buf, sizeof buf, "%u cores @ 3GHz, issue width = %u, "
+                "max %u outstanding loads",
+                cfg.cores, cfg.core.issue_width,
+                cfg.core.max_outstanding_loads);
+  table.add_row({"Processor", buf});
+
+  auto cache_row = [&](const char* name, const cache::CacheConfig& c,
+                       const char* sharing) {
+    std::snprintf(buf, sizeof buf,
+                  "%llu KB %s, %u-way, hit lat. = %u cycles, %llu B line",
+                  static_cast<unsigned long long>(c.size_bytes / 1024),
+                  sharing, c.ways, c.hit_latency,
+                  static_cast<unsigned long long>(c.line_bytes));
+    table.add_row({name, buf});
+  };
+  cache_row("L1 (D)", cfg.caches.l1, "pvt.");
+  cache_row("L2", cfg.caches.l2, "pvt.");
+  cache_row("L3", cfg.caches.l3, "shrd.");
+
+  std::snprintf(buf, sizeof buf,
+                "%u vaults, %u banks/vault, %llu B row buffer, %llu rows/bank "
+                "(%llu GB)",
+                cfg.hmc.geometry.vaults, cfg.hmc.geometry.banks_per_vault,
+                static_cast<unsigned long long>(cfg.hmc.geometry.row_bytes),
+                static_cast<unsigned long long>(cfg.hmc.geometry.rows_per_bank),
+                static_cast<unsigned long long>(
+                    cfg.hmc.geometry.capacity_bytes() >> 30));
+  table.add_row({"HMC", buf});
+
+  const auto& t = cfg.hmc.vault.timing;
+  std::snprintf(buf, sizeof buf,
+                "DDR3-1600, queue size (R/W) = %u/%u, tRCD=%llu tRP=%llu "
+                "tCL=%llu cycles",
+                cfg.hmc.vault.read_queue, cfg.hmc.vault.write_queue,
+                static_cast<unsigned long long>(t.tRCD),
+                static_cast<unsigned long long>(t.tRP),
+                static_cast<unsigned long long>(t.tCL));
+  table.add_row({"Vault controller", buf});
+
+  std::snprintf(buf, sizeof buf,
+                "%u links, %u lanes each direction, %.1f Gbps/lane",
+                cfg.hmc.num_links, cfg.hmc.link.lanes,
+                cfg.hmc.link.gbps_per_lane);
+  table.add_row({"Serial links", buf});
+
+  std::snprintf(buf, sizeof buf,
+                "%llu KB/vault, fully associative, %u x 1 KB rows, hit "
+                "latency = %llu cycles",
+                static_cast<unsigned long long>(
+                    u64{cfg.hmc.vault.buffer.entries} *
+                    cfg.hmc.geometry.row_bytes / 1024),
+                cfg.hmc.vault.buffer.entries,
+                static_cast<unsigned long long>(
+                    cfg.hmc.vault.buffer.hit_latency));
+  table.add_row({"PF buffer", buf});
+
+  const hmc::AddressMap map(cfg.hmc.geometry, cfg.hmc.field_order);
+  table.add_row({"Address mapping", map.order_name() +
+                                    " (row-rank-bank-vault-column)"});
+  table.add_row({"Memory scheduling", "FR-FCFS"});
+  table.add_row({"Page policy", "Open page"});
+
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}

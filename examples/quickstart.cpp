@@ -1,0 +1,37 @@
+// Quickstart: simulate one Table II workload under two prefetching schemes
+// and print the headline metrics. Usage:
+//   quickstart [workload-id] [instructions-per-core]
+// Defaults: MX1, 300000.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "exp/table.hpp"
+#include "system/system.hpp"
+
+int main(int argc, char** argv) {
+  using namespace camps;
+  const std::string workload = argc > 1 ? argv[1] : "MX1";
+  const u64 instructions =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 300000;
+
+  exp::Table table({"scheme", "geomean IPC", "AMAT (cyc)", "conflict rate",
+                    "pf accuracy", "buffer hits"});
+  for (const auto scheme :
+       {prefetch::SchemeKind::kBase, prefetch::SchemeKind::kCampsMod}) {
+    system::SystemConfig cfg = system::table1_config(scheme);
+    cfg.core.warmup_instructions = instructions / 5;
+    cfg.core.measure_instructions = instructions;
+    auto sys = system::make_workload_system(cfg, workload);
+    const auto results = sys->run();
+    table.add_row({results.scheme, exp::Table::fmt(results.geomean_ipc),
+                   exp::Table::fmt(results.amat_cycles, 1),
+                   exp::Table::pct(results.row_conflict_rate),
+                   exp::Table::pct(results.prefetch_accuracy),
+                   std::to_string(results.buffer_hits)});
+    std::printf("--- %s on %s ---\n%s\n", results.scheme.c_str(),
+                workload.c_str(), results.summary().c_str());
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}

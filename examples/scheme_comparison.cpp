@@ -1,0 +1,49 @@
+// Compare all prefetching schemes (plus the no-prefetch substrate baseline)
+// on one Table II workload, printing the full metric set each scheme
+// produces. Usage:
+//   scheme_comparison [workload-id] [instructions-per-core]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "exp/table.hpp"
+#include "system/system.hpp"
+
+int main(int argc, char** argv) {
+  using namespace camps;
+  const std::string workload = argc > 1 ? argv[1] : "HM2";
+  const u64 instructions =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 300000;
+
+  std::printf("workload %s, %llu instructions/core after warmup\n\n",
+              workload.c_str(),
+              static_cast<unsigned long long>(instructions));
+
+  exp::Table table({"scheme", "IPC", "vs BASE", "AMAT", "mem lat",
+                    "conflicts", "pf count", "pf accuracy", "buf hits",
+                    "energy (uJ)"});
+  double base_ipc = 0.0;
+  for (auto kind :
+       {prefetch::SchemeKind::kNone, prefetch::SchemeKind::kBase,
+        prefetch::SchemeKind::kBaseHit, prefetch::SchemeKind::kMmd,
+        prefetch::SchemeKind::kCamps, prefetch::SchemeKind::kCampsMod}) {
+    system::SystemConfig cfg = system::table1_config(kind);
+    cfg.core.warmup_instructions = instructions / 5;
+    cfg.core.measure_instructions = instructions;
+    const auto r = system::make_workload_system(cfg, workload)->run();
+    if (kind == prefetch::SchemeKind::kBase) base_ipc = r.geomean_ipc;
+    table.add_row({r.scheme, exp::Table::fmt(r.geomean_ipc),
+                   base_ipc > 0.0
+                       ? exp::Table::fmt(r.geomean_ipc / base_ipc)
+                       : std::string("-"),
+                   exp::Table::fmt(r.amat_cycles, 1),
+                   exp::Table::fmt(r.mem_latency_cycles, 1),
+                   exp::Table::pct(r.row_conflict_rate),
+                   std::to_string(r.prefetches),
+                   exp::Table::pct(r.prefetch_accuracy),
+                   std::to_string(r.buffer_hits),
+                   exp::Table::fmt(r.energy_pj / 1e6, 1)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}

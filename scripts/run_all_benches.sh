@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Runs every figure/table/ablation bench sequentially and tees the combined
+# output. Usage: scripts/run_all_benches.sh [outfile] [extra bench args...]
+# e.g. scripts/run_all_benches.sh bench_output.txt --quick
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-bench_output.txt}"
+shift || true
+
+{
+  for b in build/bench/bench_*; do
+    name="$(basename "$b")"
+    echo "### $name"
+    if [ "$name" = bench_micro_components ]; then
+      "$b" --benchmark_min_time=0.05s
+    else
+      "$b" --quiet "$@"
+    fi
+    echo
+  done
+} 2>&1 | tee "$out"

@@ -1,0 +1,48 @@
+// Miss Status Holding Registers for the shared L3 / memory boundary.
+//
+// Merges concurrent misses to the same line into one memory request: the
+// first miss allocates an entry and triggers the fetch; later misses attach
+// their callbacks. When the line returns, every waiter fires in arrival
+// order.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace camps::cache {
+
+class MshrFile {
+ public:
+  using WakeFn = std::function<void()>;
+
+  /// Unlimited entries by default (the cores' outstanding-miss windows
+  /// bound demand in practice); pass a cap to model a finite file.
+  explicit MshrFile(u32 max_entries = 0) : max_entries_(max_entries) {}
+
+  /// True when a fetch for `line_addr` is already outstanding.
+  bool pending(Addr line_addr) const;
+
+  /// Result of allocate(): whether this call must launch the memory fetch.
+  enum class Allocate : u8 { kMustFetch, kMerged, kFull };
+
+  /// Registers a waiter for `line_addr`.
+  Allocate allocate(Addr line_addr, WakeFn waiter);
+
+  /// Completes a fetch: removes the entry and returns its waiters.
+  std::vector<WakeFn> complete(Addr line_addr);
+
+  u32 entries_in_use() const { return static_cast<u32>(pending_.size()); }
+  u64 merges() const { return merges_; }
+  u64 allocations() const { return allocations_; }
+  u64 full_rejections() const { return full_rejections_; }
+
+ private:
+  u32 max_entries_;
+  std::unordered_map<Addr, std::vector<WakeFn>> pending_;
+  u64 merges_ = 0, allocations_ = 0, full_rejections_ = 0;
+};
+
+}  // namespace camps::cache

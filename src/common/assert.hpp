@@ -1,0 +1,30 @@
+// Always-on invariant checks. Simulator correctness depends on state-machine
+// invariants (e.g. "a bank never receives RD while precharging"); violating
+// them silently would corrupt results, so these fire in release builds too.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace camps::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "CAMPS_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace camps::detail
+
+#define CAMPS_ASSERT(expr)                                              \
+  do {                                                                  \
+    if (!(expr)) [[unlikely]]                                           \
+      ::camps::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define CAMPS_ASSERT_MSG(expr, msg)                                  \
+  do {                                                               \
+    if (!(expr)) [[unlikely]]                                        \
+      ::camps::detail::assert_fail(#expr, __FILE__, __LINE__, msg);  \
+  } while (0)

@@ -1,0 +1,145 @@
+#include "common/config_file.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace camps {
+namespace {
+
+std::string trim(const std::string& s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+[[noreturn]] void bad_value(const std::string& key, const std::string& value,
+                            const char* type) {
+  throw std::runtime_error("config key '" + key + "': value '" + value +
+                           "' is not a valid " + type);
+}
+
+}  // namespace
+
+ConfigFile ConfigFile::parse(const std::string& text) {
+  ConfigFile cfg;
+  std::istringstream in(text);
+  std::string line;
+  std::string section;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Strip comments ('#' or ';' to end of line).
+    if (auto pos = line.find_first_of("#;"); pos != std::string::npos) {
+      line.erase(pos);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        throw std::runtime_error("config line " + std::to_string(lineno) +
+                                 ": unterminated section header");
+      }
+      section = trim(line.substr(1, line.size() - 2));
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("config line " + std::to_string(lineno) +
+                               ": expected 'key = value'");
+    }
+    std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty()) {
+      throw std::runtime_error("config line " + std::to_string(lineno) +
+                               ": empty key");
+    }
+    if (!section.empty()) key = section + "." + key;
+    cfg.values_[key] = value;
+  }
+  return cfg;
+}
+
+ConfigFile ConfigFile::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open config file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+bool ConfigFile::has(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+std::string ConfigFile::get_string(const std::string& key,
+                                   const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+i64 ConfigFile::get_int(const std::string& key, i64 fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  i64 out = 0;
+  const auto& v = it->second;
+  auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec != std::errc{} || ptr != v.data() + v.size()) {
+    bad_value(key, v, "integer");
+  }
+  return out;
+}
+
+u64 ConfigFile::get_uint(const std::string& key, u64 fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  u64 out = 0;
+  const auto& v = it->second;
+  auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec != std::errc{} || ptr != v.data() + v.size()) {
+    bad_value(key, v, "unsigned integer");
+  }
+  return out;
+}
+
+double ConfigFile::get_double(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const auto& v = it->second;
+  try {
+    size_t consumed = 0;
+    const double out = std::stod(v, &consumed);
+    if (consumed != v.size()) bad_value(key, v, "number");
+    return out;
+  } catch (const std::logic_error&) {
+    bad_value(key, v, "number");
+  }
+}
+
+bool ConfigFile::get_bool(const std::string& key, bool fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::string v = it->second;
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  bad_value(key, it->second, "boolean");
+}
+
+void ConfigFile::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+std::vector<std::string> ConfigFile::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, _] : values_) out.push_back(k);
+  return out;
+}
+
+}  // namespace camps

@@ -1,0 +1,38 @@
+#include "common/log.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace camps {
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+namespace detail {
+void log_vemit(LogLevel level, std::string_view component, const char* fmt,
+               ...) {
+  char buf[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  std::fprintf(stderr, "[%s] %.*s: %s\n", level_name(level),
+               static_cast<int>(component.size()), component.data(), buf);
+}
+}  // namespace detail
+
+}  // namespace camps

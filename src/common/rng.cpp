@@ -1,0 +1,95 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace camps {
+namespace {
+
+u64 splitmix64(u64& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  u64 z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(u64 seed) {
+  u64 x = seed;
+  for (auto& word : s_) word = splitmix64(x);
+  // All-zero state is the one forbidden state of xoshiro; splitmix64 cannot
+  // produce four zero outputs from any seed, but guard anyway.
+  if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) s_[0] = 1;
+}
+
+u64 Rng::next() {
+  const u64 result = rotl(s_[1] * 5, 7) * 9;
+  const u64 t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+u64 Rng::next_below(u64 bound) {
+  CAMPS_ASSERT(bound > 0);
+  // Lemire's method: multiply into a 128-bit product; reject the small
+  // biased region at the bottom.
+  u64 x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  u64 low = static_cast<u64>(m);
+  if (low < bound) {
+    const u64 threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<u64>(m);
+    }
+  }
+  return static_cast<u64>(m >> 64);
+}
+
+u64 Rng::next_range(u64 lo, u64 hi) {
+  CAMPS_ASSERT(lo <= hi);
+  return lo + next_below(hi - lo + 1);
+}
+
+double Rng::next_double() {
+  // 53 high bits → uniform double in [0,1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::next_bool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+u64 Rng::next_geometric(double mean) {
+  if (mean <= 1.0) return 1;
+  const double p = 1.0 / mean;
+  double u = next_double();
+  // Inverse CDF of the geometric distribution (support starting at 1).
+  if (u >= 1.0) u = std::nextafter(1.0, 0.0);
+  const double draw = std::floor(std::log1p(-u) / std::log1p(-p)) + 1.0;
+  if (draw < 1.0) return 1;
+  if (draw > 1e18) return static_cast<u64>(1e18);
+  return static_cast<u64>(draw);
+}
+
+Rng Rng::split(u64 salt) const {
+  // Derive the child's seed from the parent state and the salt; the parent
+  // state is untouched so parallel splits are order-independent.
+  u64 x = s_[0] ^ rotl(s_[2], 13) ^ (salt * 0xD1342543DE82EF95ULL);
+  return Rng(splitmix64(x));
+}
+
+}  // namespace camps

@@ -1,0 +1,47 @@
+// Deterministic pseudo-random number generation for trace synthesis.
+//
+// xoshiro256** — fast, high quality, and (unlike std::mt19937) with a
+// stable, documented output sequence across standard-library versions, so
+// synthetic workloads are reproducible byte-for-byte on any platform.
+#pragma once
+
+#include <array>
+
+#include "common/types.hpp"
+
+namespace camps {
+
+class Rng {
+ public:
+  /// Seeds the four 64-bit state words from a single seed via SplitMix64,
+  /// the initialization recommended by the xoshiro authors.
+  explicit Rng(u64 seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  u64 next();
+
+  /// Uniform in [0, bound). Uses Lemire's multiply-shift rejection method.
+  u64 next_below(u64 bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  u64 next_range(u64 lo, u64 hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool next_bool(double p);
+
+  /// Approximately geometric draw with mean `mean` (>= 1); used for run
+  /// lengths. Always returns at least 1.
+  u64 next_geometric(double mean);
+
+  /// Splits off an independently-seeded child generator. Children of the
+  /// same parent with different salts produce uncorrelated streams.
+  Rng split(u64 salt) const;
+
+ private:
+  std::array<u64, 4> s_{};
+};
+
+}  // namespace camps

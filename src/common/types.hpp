@@ -1,0 +1,55 @@
+// Fundamental value types shared by every CAMPS subsystem.
+//
+// The simulator measures time in *CPU ticks* (see sim/clock.hpp for the
+// clock-domain conversions). Addresses are full 64-bit physical addresses;
+// the HMC address mapper (hmc/address_map.hpp) decomposes them into
+// row/bank/vault/column coordinates.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace camps {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Physical byte address.
+using Addr = u64;
+
+/// Simulation time in CPU ticks (3 GHz by default).
+using Tick = u64;
+
+/// Sentinel for "no tick" / "never".
+inline constexpr Tick kTickNever = std::numeric_limits<Tick>::max();
+
+/// Identifier types. Plain integers by design: these index dense arrays on
+/// hot paths, and the address mapper guarantees their ranges.
+using CoreId = u32;
+using VaultId = u32;
+using BankId = u32;   ///< Bank index *within* a vault.
+using RowId = u64;    ///< Row index within a bank.
+using LineId = u32;   ///< Cache-line (column) index within a row.
+
+/// A row uniquely identified inside one vault: (bank, row).
+struct BankRow {
+  BankId bank = 0;
+  RowId row = 0;
+
+  friend bool operator==(const BankRow&, const BankRow&) = default;
+};
+
+/// Memory access direction.
+enum class AccessType : u8 { kRead, kWrite };
+
+inline const char* to_string(AccessType t) {
+  return t == AccessType::kRead ? "read" : "write";
+}
+
+}  // namespace camps

@@ -1,0 +1,19 @@
+#include "dram/refresh.hpp"
+
+#include "common/assert.hpp"
+
+namespace camps::dram {
+
+void RefreshScheduler::start(u64 cycle) {
+  CAMPS_ASSERT(enabled_);
+  CAMPS_ASSERT(cycle >= next_due_);
+  busy_until_ = cycle + t_->tRFC;
+  next_due_ += t_->tREFI;
+  // If the controller fell far behind (long row-fetch bursts), catch up by
+  // skipping intervals rather than issuing a refresh storm; real
+  // controllers bound postponed refreshes similarly (up to 8 in DDR3).
+  while (next_due_ + t_->tREFI < cycle) next_due_ += t_->tREFI;
+  ++issued_;
+}
+
+}  // namespace camps::dram

@@ -1,0 +1,45 @@
+// All-bank refresh bookkeeping for one vault.
+//
+// HMC vaults refresh autonomously (the vault controller owns refresh, per
+// HMC spec 2.1); we model the standard policy: every tREFI an all-bank
+// refresh becomes due, the controller closes open rows and holds commands
+// for tRFC. The scheduler only tracks *when* refreshes are due and whether
+// one is in progress; the vault controller performs the bank operations.
+#pragma once
+
+#include "common/types.hpp"
+#include "dram/timing.hpp"
+
+namespace camps::dram {
+
+class RefreshScheduler {
+ public:
+  explicit RefreshScheduler(const TimingParams& timing, bool enabled = true)
+      : t_(&timing), enabled_(enabled), next_due_(timing.tREFI) {}
+
+  /// True when a refresh is due at or before `cycle` and not yet started.
+  bool due(u64 cycle) const { return enabled_ && cycle >= next_due_; }
+
+  /// Cycle at which the next refresh becomes due (kTickNever if disabled).
+  u64 next_due() const { return enabled_ ? next_due_ : kTickNever; }
+
+  /// Marks the refresh that was due as started at `cycle`; the next one is
+  /// due a full tREFI after the *scheduled* point, so refresh debt does not
+  /// accumulate silently.
+  void start(u64 cycle);
+
+  /// Cycle the in-progress refresh completes (commands legal again).
+  u64 busy_until() const { return busy_until_; }
+  bool in_progress(u64 cycle) const { return cycle < busy_until_; }
+
+  u64 refreshes_issued() const { return issued_; }
+
+ private:
+  const TimingParams* t_;
+  bool enabled_;
+  u64 next_due_;
+  u64 busy_until_ = 0;
+  u64 issued_ = 0;
+};
+
+}  // namespace camps::dram

@@ -1,0 +1,15 @@
+#include "dram/timing.hpp"
+
+namespace camps::dram {
+
+bool TimingParams::valid() const {
+  if (tRCD == 0 || tRP == 0 || tCL == 0 || tBURST == 0) return false;
+  if (tRAS < tRCD) return false;        // row must be usable before closing
+  if (tREFI <= tRFC) return false;      // refresh must fit in its interval
+  if (tROWFETCH == 0) return false;
+  return true;
+}
+
+TimingParams default_timing() { return TimingParams{}; }
+
+}  // namespace camps::dram

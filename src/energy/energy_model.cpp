@@ -1,0 +1,41 @@
+#include "energy/energy_model.hpp"
+
+#include <sstream>
+
+namespace camps::energy {
+
+const char* to_string(EnergyEvent event) {
+  switch (event) {
+    case EnergyEvent::kActivate: return "activate";
+    case EnergyEvent::kPrecharge: return "precharge";
+    case EnergyEvent::kReadLine: return "read_line";
+    case EnergyEvent::kWriteLine: return "write_line";
+    case EnergyEvent::kRowFetch: return "row_fetch";
+    case EnergyEvent::kRowWriteback: return "row_writeback";
+    case EnergyEvent::kBufferAccess: return "buffer_access";
+    case EnergyEvent::kRefresh: return "refresh";
+    case EnergyEvent::kLinkFlit: return "link_flit";
+    case EnergyEvent::kCount_: break;
+  }
+  return "?";
+}
+
+double EnergyModel::dynamic_pj() const {
+  double total = 0.0;
+  for (size_t i = 0; i < kEnergyEventCount; ++i) {
+    total += static_cast<double>(counts_[i]) * p_.pj_per_event[i];
+  }
+  return total;
+}
+
+std::string EnergyModel::breakdown() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < kEnergyEventCount; ++i) {
+    const auto event = static_cast<EnergyEvent>(i);
+    out << to_string(event) << ": " << counts_[i] << " events, "
+        << static_cast<double>(counts_[i]) * p_.pj_per_event[i] << " pJ\n";
+  }
+  return out.str();
+}
+
+}  // namespace camps::energy

@@ -1,0 +1,117 @@
+#include "exp/runner.hpp"
+
+#include <cstdio>
+
+namespace camps::exp {
+
+system::SystemConfig ExperimentConfig::system_config(
+    prefetch::SchemeKind scheme) const {
+  system::SystemConfig cfg = system::table1_config(scheme);
+  cfg.core.warmup_instructions = warmup_instructions;
+  cfg.core.measure_instructions = measure_instructions;
+  cfg.seed = seed;
+  cfg.max_cycles = max_cycles;
+  return cfg;
+}
+
+Runner::Runner(const ExperimentConfig& config) : cfg_(config) {}
+
+const system::RunResults& Runner::result(const std::string& workload,
+                                         prefetch::SchemeKind scheme) {
+  const auto key = std::make_pair(workload, scheme);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+
+  if (cfg_.verbose) {
+    std::fprintf(stderr, "[run] %s / %s ...\n", workload.c_str(),
+                 prefetch::to_string(scheme));
+  }
+  auto sys = system::make_workload_system(cfg_.system_config(scheme), workload);
+  auto results = sys->run();
+  if (results.partial && cfg_.verbose) {
+    std::fprintf(stderr, "[run] %s / %s hit the cycle bound (partial)\n",
+                 workload.c_str(), prefetch::to_string(scheme));
+  }
+  return cache_.emplace(key, std::move(results)).first->second;
+}
+
+double Runner::speedup(const std::string& workload,
+                       prefetch::SchemeKind scheme,
+                       prefetch::SchemeKind baseline) {
+  const double base_ipc = result(workload, baseline).geomean_ipc;
+  const double ipc = result(workload, scheme).geomean_ipc;
+  return base_ipc <= 0.0 ? 0.0 : ipc / base_ipc;
+}
+
+double Runner::mean_speedup(const std::vector<std::string>& workloads,
+                            prefetch::SchemeKind scheme,
+                            prefetch::SchemeKind baseline) {
+  std::vector<double> speedups;
+  speedups.reserve(workloads.size());
+  for (const auto& w : workloads) {
+    speedups.push_back(speedup(w, scheme, baseline));
+  }
+  return system::geometric_mean(speedups);
+}
+
+double Runner::solo_ipc(const std::string& benchmark,
+                        prefetch::SchemeKind scheme) {
+  const auto key = std::make_pair(benchmark, scheme);
+  auto it = solo_cache_.find(key);
+  if (it != solo_cache_.end()) return it->second;
+
+  system::SystemConfig sys_cfg = cfg_.system_config(scheme);
+  sys_cfg.cores = 1;
+  const auto& profile = trace::benchmark(benchmark);
+  std::vector<std::unique_ptr<trace::TraceSource>> sources;
+  sources.push_back(profile.make_source(cfg_.seed * 1000003 + 1,
+                                        sys_cfg.pattern_geometry()));
+  system::System sys(sys_cfg, std::move(sources));
+  const double ipc = sys.run().cores[0].ipc;
+  solo_cache_.emplace(key, ipc);
+  return ipc;
+}
+
+double Runner::weighted_speedup(const std::string& workload,
+                                prefetch::SchemeKind scheme) {
+  const auto& mix = workload::workload(workload);
+  const auto& results = result(workload, scheme);
+  double sum = 0.0;
+  for (u32 c = 0; c < workload::kCoresPerWorkload; ++c) {
+    const double solo = solo_ipc(mix.benchmarks[c], scheme);
+    if (solo > 0.0) sum += results.cores[c].ipc / solo;
+  }
+  return sum;
+}
+
+double Runner::harmonic_speedup(const std::string& workload,
+                                prefetch::SchemeKind scheme) {
+  const auto& mix = workload::workload(workload);
+  const auto& results = result(workload, scheme);
+  double denom = 0.0;
+  for (u32 c = 0; c < workload::kCoresPerWorkload; ++c) {
+    const double solo = solo_ipc(mix.benchmarks[c], scheme);
+    const double ipc = results.cores[c].ipc;
+    if (ipc <= 0.0) return 0.0;
+    denom += solo / ipc;
+  }
+  return denom == 0.0
+             ? 0.0
+             : static_cast<double>(workload::kCoresPerWorkload) / denom;
+}
+
+std::vector<std::string> Runner::all_workloads() {
+  std::vector<std::string> out;
+  for (const auto& w : workload::table2_workloads()) out.push_back(w.id);
+  return out;
+}
+
+std::vector<std::string> Runner::workloads_of(workload::WorkloadClass cls) {
+  std::vector<std::string> out;
+  for (const auto& w : workload::table2_workloads()) {
+    if (w.cls == cls) out.push_back(w.id);
+  }
+  return out;
+}
+
+}  // namespace camps::exp

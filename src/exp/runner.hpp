@@ -1,0 +1,75 @@
+// Experiment runner: executes (workload x scheme) simulations, caches the
+// results in-process, and offers the normalizations the paper's figures
+// report (speedup vs BASE, geometric means per workload class).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "system/system.hpp"
+#include "workload/workloads.hpp"
+
+namespace camps::exp {
+
+struct ExperimentConfig {
+  /// Per-run simulation scale. Full Table I system; the instruction budget
+  /// trades bench runtime for statistical stability.
+  u64 warmup_instructions = 200'000;
+  u64 measure_instructions = 1'000'000;
+  u64 seed = 1;
+  u64 max_cycles = 400'000'000;
+  bool verbose = false;  ///< Print one progress line per run to stderr.
+
+  /// Builds the Table I SystemConfig for one scheme under this experiment
+  /// scale. Hook point for ablations: tweak the returned config.
+  system::SystemConfig system_config(prefetch::SchemeKind scheme) const;
+};
+
+class Runner {
+ public:
+  explicit Runner(const ExperimentConfig& config = {});
+
+  /// Runs (or returns the cached) simulation of `workload` under `scheme`.
+  const system::RunResults& result(const std::string& workload,
+                                   prefetch::SchemeKind scheme);
+
+  /// Speedup of `scheme` over `baseline` on one workload (IPC geomeans).
+  double speedup(const std::string& workload, prefetch::SchemeKind scheme,
+                 prefetch::SchemeKind baseline);
+
+  /// Geometric mean of per-workload speedups across `workloads`.
+  double mean_speedup(const std::vector<std::string>& workloads,
+                      prefetch::SchemeKind scheme,
+                      prefetch::SchemeKind baseline);
+
+  /// IPC of `benchmark` running alone on a single-core Table I system
+  /// under `scheme` (cached). The denominator of the multiprogramming
+  /// fairness metrics.
+  double solo_ipc(const std::string& benchmark, prefetch::SchemeKind scheme);
+
+  /// Weighted speedup of a mix: sum_i IPC_i / soloIPC_i (system throughput
+  /// in "jobs' worth of progress"; Snavely & Tullsen, ASPLOS 2000).
+  double weighted_speedup(const std::string& workload,
+                          prefetch::SchemeKind scheme);
+
+  /// Harmonic mean of per-core speedups: N / sum_i (soloIPC_i / IPC_i) —
+  /// balances throughput and fairness (Luo et al., ISPASS 2001).
+  double harmonic_speedup(const std::string& workload,
+                          prefetch::SchemeKind scheme);
+
+  const ExperimentConfig& config() const { return cfg_; }
+
+  /// All Table II ids, in paper order.
+  static std::vector<std::string> all_workloads();
+  /// Ids of one class ("HM", "LM", "MX").
+  static std::vector<std::string> workloads_of(workload::WorkloadClass cls);
+
+ private:
+  ExperimentConfig cfg_;
+  std::map<std::pair<std::string, prefetch::SchemeKind>, system::RunResults>
+      cache_;
+  std::map<std::pair<std::string, prefetch::SchemeKind>, double> solo_cache_;
+};
+
+}  // namespace camps::exp

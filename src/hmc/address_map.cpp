@@ -1,0 +1,109 @@
+#include "hmc/address_map.hpp"
+
+#include <bit>
+
+#include "common/assert.hpp"
+
+namespace camps::hmc {
+namespace {
+
+bool is_pow2(u64 v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+bool HmcGeometry::valid() const {
+  return is_pow2(vaults) && is_pow2(banks_per_vault) && is_pow2(ranks) &&
+         is_pow2(rows_per_bank) && is_pow2(row_bytes) && is_pow2(line_bytes) &&
+         line_bytes >= 1 && row_bytes >= line_bytes;
+}
+
+AddressMap::AddressMap(const HmcGeometry& geometry, const FieldOrder& order)
+    : geom_(geometry), order_(order) {
+  CAMPS_ASSERT_MSG(geom_.valid(), "HMC geometry must be powers of two");
+  // Every field must appear exactly once.
+  u32 seen = 0;
+  for (AddrField f : order_) seen |= 1u << static_cast<u8>(f);
+  CAMPS_ASSERT_MSG(seen == 0b11111, "field order must be a permutation");
+  line_shift_ = static_cast<u32>(std::countr_zero(geom_.line_bytes));
+  capacity_lines_ = geom_.capacity_bytes() / geom_.line_bytes;
+}
+
+u64 AddressMap::field_size(AddrField f) const {
+  switch (f) {
+    case AddrField::kRow: return geom_.rows_per_bank;
+    case AddrField::kRank: return geom_.ranks;
+    case AddrField::kBank: return geom_.banks_per_vault;
+    case AddrField::kVault: return geom_.vaults;
+    case AddrField::kColumn: return geom_.lines_per_row();
+  }
+  return 1;
+}
+
+DecodedAddr AddressMap::decode(Addr addr) const {
+  u64 line = (addr >> line_shift_) % capacity_lines_;
+  DecodedAddr d;
+  // Peel fields from least significant (back of the order array) upward.
+  for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+    const u64 size = field_size(*it);
+    const u64 value = line % size;
+    line /= size;
+    switch (*it) {
+      case AddrField::kRow: d.row = value; break;
+      case AddrField::kRank: d.rank = static_cast<u32>(value); break;
+      case AddrField::kBank: d.bank = static_cast<BankId>(value); break;
+      case AddrField::kVault: d.vault = static_cast<VaultId>(value); break;
+      case AddrField::kColumn: d.column = static_cast<LineId>(value); break;
+    }
+  }
+  return d;
+}
+
+Addr AddressMap::encode(const DecodedAddr& d) const {
+  u64 line = 0;
+  for (AddrField f : order_) {
+    const u64 size = field_size(f);
+    u64 value = 0;
+    switch (f) {
+      case AddrField::kRow: value = d.row; break;
+      case AddrField::kRank: value = d.rank; break;
+      case AddrField::kBank: value = d.bank; break;
+      case AddrField::kVault: value = d.vault; break;
+      case AddrField::kColumn: value = d.column; break;
+    }
+    CAMPS_ASSERT(value < size);
+    line = line * size + value;
+  }
+  return line << line_shift_;
+}
+
+u64 AddressMap::same_bank_row_stride() const {
+  // The stride is the product of the sizes of every field strictly less
+  // significant than kRow, times the line size.
+  u64 stride = geom_.line_bytes;
+  bool below_row = false;
+  for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+    if (*it == AddrField::kRow) {
+      below_row = true;
+      break;
+    }
+    stride *= field_size(*it);
+  }
+  CAMPS_ASSERT(below_row);
+  return stride;
+}
+
+std::string AddressMap::order_name() const {
+  std::string out;
+  for (AddrField f : order_) {
+    switch (f) {
+      case AddrField::kRow: out += "Ro"; break;
+      case AddrField::kRank: out += "Ra"; break;
+      case AddrField::kBank: out += "Ba"; break;
+      case AddrField::kVault: out += "Va"; break;
+      case AddrField::kColumn: out += "Co"; break;
+    }
+  }
+  return out;
+}
+
+}  // namespace camps::hmc

@@ -1,0 +1,22 @@
+#include "hmc/crossbar.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace camps::hmc {
+
+Crossbar::Crossbar(u32 output_ports, const CrossbarParams& params)
+    : p_(params), port_free_(output_ports, 0) {
+  CAMPS_ASSERT(output_ports > 0);
+}
+
+Tick Crossbar::route(Tick now, u32 port) {
+  CAMPS_ASSERT(port < port_free_.size());
+  const Tick start = std::max(now, port_free_[port]);
+  port_free_[port] = start + p_.port_interval_ticks;
+  ++packets_;
+  return start + p_.latency_ticks;
+}
+
+}  // namespace camps::hmc

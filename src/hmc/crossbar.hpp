@@ -1,0 +1,43 @@
+// The HMC logic-layer crossbar between link ports and vault controllers.
+//
+// A 4x32 crossbar at logic-layer clock speeds has ample internal bandwidth;
+// the performance-relevant effect is its pipeline latency plus head-of-line
+// arbitration at each vault port. We model a fixed traversal latency and a
+// per-output-port serializer (one packet per vault port per controller
+// cycle), which captures the congestion that matters without simulating
+// individual switch stages.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace camps::hmc {
+
+struct CrossbarParams {
+  /// Fixed traversal latency in ticks (default 2.5 ns: a couple of logic
+  /// layer pipeline stages).
+  Tick latency_ticks = 60;
+  /// Minimum spacing between packets delivered to the same output port,
+  /// in ticks (default: one 800 MHz controller cycle).
+  Tick port_interval_ticks = 30;
+};
+
+class Crossbar {
+ public:
+  Crossbar(u32 output_ports, const CrossbarParams& params = {});
+
+  /// Routes a packet submitted at `now` toward `port`; returns delivery
+  /// tick at that port. Per-port FIFO order is preserved.
+  Tick route(Tick now, u32 port);
+
+  u64 packets_routed() const { return packets_; }
+  u32 ports() const { return static_cast<u32>(port_free_.size()); }
+
+ private:
+  CrossbarParams p_;
+  std::vector<Tick> port_free_;
+  u64 packets_ = 0;
+};
+
+}  // namespace camps::hmc

@@ -1,0 +1,158 @@
+#include "hmc/hmc_device.hpp"
+
+namespace camps::hmc {
+
+using energy::EnergyEvent;
+
+HmcDevice::HmcDevice(sim::Simulator& sim, const HmcConfig& config,
+                     prefetch::SchemeKind scheme,
+                     const prefetch::SchemeParams& params, StatRegistry* stats,
+                     DeliverFn deliver)
+    : sim_(sim),
+      cfg_(config),
+      map_(config.geometry, config.field_order),
+      energy_(config.energy),
+      down_xbar_(config.geometry.vaults, config.crossbar),
+      up_xbar_(config.num_links, config.crossbar),
+      deliver_(std::move(deliver)) {
+  CAMPS_ASSERT(cfg_.num_links > 0);
+  links_.reserve(cfg_.num_links);
+  for (u32 l = 0; l < cfg_.num_links; ++l) {
+    links_.push_back(std::make_unique<SerialLink>(cfg_.link));
+  }
+  // Keep each vault's prefetch table geometry in sync with the banks.
+  prefetch::SchemeParams per_vault = params;
+  per_vault.camps.banks = cfg_.vault.banks;
+  vaults_.reserve(cfg_.geometry.vaults);
+  for (VaultId v = 0; v < cfg_.geometry.vaults; ++v) {
+    vaults_.push_back(std::make_unique<VaultController>(
+        sim_, v, cfg_.vault, prefetch::make_scheme(scheme, per_vault),
+        &energy_, stats,
+        [this, v](const MemRequest& req, Tick ready) {
+          on_vault_response(req, v, ready);
+        }));
+  }
+}
+
+void HmcDevice::submit(const MemRequest& request, Tick now) {
+  const DecodedAddr decoded = map_.decode(request.addr);
+  const u32 link_idx = decoded.vault % cfg_.num_links;
+  const PacketKind kind = request.type == AccessType::kRead
+                              ? PacketKind::kReadReq
+                              : PacketKind::kWriteReq;
+  const u32 flits = flits_for(kind);
+  energy_.add(EnergyEvent::kLinkFlit, flits);
+  const Tick at_xbar = links_[link_idx]->downstream().submit(now, flits);
+  const Tick at_vault = down_xbar_.route(at_xbar, decoded.vault);
+  VaultController* vault = vaults_[decoded.vault].get();
+  sim_.schedule_at(at_vault, [vault, request, decoded, at_vault] {
+    vault->receive(request, decoded, at_vault);
+  });
+}
+
+void HmcDevice::on_vault_response(const MemRequest& request, VaultId vault,
+                                  Tick ready) {
+  // Reads only (writes are posted). Chain: crossbar -> upstream link.
+  const u32 link_idx = vault % cfg_.num_links;
+  const u32 flits = flits_for(PacketKind::kReadResp);
+  energy_.add(EnergyEvent::kLinkFlit, flits);
+  const Tick at_link = up_xbar_.route(ready, link_idx);
+  const Tick at_host = links_[link_idx]->upstream().submit(at_link, flits);
+  sim_.schedule_at(at_host, [this, request] { deliver_(request); });
+}
+
+void HmcDevice::reset_stats() {
+  for (auto& v : vaults_) v->reset_stats();
+  for (auto& link : links_) {
+    link->downstream().reset_stats();
+    link->upstream().reset_stats();
+  }
+  energy_.reset();
+}
+
+Tick HmcDevice::link_busy_ticks_down() const {
+  Tick total = 0;
+  for (const auto& link : links_) total += link->downstream().busy_ticks();
+  return total;
+}
+
+Tick HmcDevice::link_busy_ticks_up() const {
+  Tick total = 0;
+  for (const auto& link : links_) total += link->upstream().busy_ticks();
+  return total;
+}
+
+u64 HmcDevice::link_wakeups() const {
+  u64 total = 0;
+  for (const auto& link : links_) {
+    total += link->downstream().wakeups() + link->upstream().wakeups();
+  }
+  return total;
+}
+
+bool HmcDevice::idle() const {
+  for (const auto& v : vaults_) {
+    if (!v->idle()) return false;
+  }
+  return true;
+}
+
+u64 HmcDevice::total_row_hits() const {
+  u64 n = 0;
+  for (const auto& v : vaults_) n += v->row_hits();
+  return n;
+}
+
+u64 HmcDevice::total_row_empties() const {
+  u64 n = 0;
+  for (const auto& v : vaults_) n += v->row_empties();
+  return n;
+}
+
+u64 HmcDevice::total_row_conflicts() const {
+  u64 n = 0;
+  for (const auto& v : vaults_) n += v->row_conflicts();
+  return n;
+}
+
+u64 HmcDevice::total_prefetches() const {
+  u64 n = 0;
+  for (const auto& v : vaults_) n += v->prefetches_issued();
+  return n;
+}
+
+u64 HmcDevice::total_buffer_hits() const {
+  u64 n = 0;
+  for (const auto& v : vaults_) n += v->buffer().hits();
+  return n;
+}
+
+u64 HmcDevice::total_buffer_misses() const {
+  u64 n = 0;
+  for (const auto& v : vaults_) n += v->buffer().misses();
+  return n;
+}
+
+double HmcDevice::prefetch_accuracy() const {
+  // Weighted mean of per-vault row accuracies, weighted by rows prefetched.
+  double useful = 0.0, total = 0.0;
+  for (const auto& v : vaults_) {
+    const auto& buf = v->buffer();
+    const double rows =
+        static_cast<double>(buf.inserts());
+    useful += buf.row_accuracy() * rows;
+    total += rows;
+  }
+  return total == 0.0 ? 0.0 : useful / total;
+}
+
+double HmcDevice::row_conflict_rate() const {
+  const u64 conflicts = total_row_conflicts();
+  const u64 accesses =
+      total_row_hits() + total_row_empties() + conflicts;
+  return accesses == 0
+             ? 0.0
+             : static_cast<double>(conflicts) / static_cast<double>(accesses);
+}
+
+}  // namespace camps::hmc

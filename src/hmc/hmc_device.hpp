@@ -1,0 +1,92 @@
+// The assembled Hybrid Memory Cube: 32 vault controllers behind a crossbar,
+// reached from the host through 4 full-duplex serial links.
+//
+// Topology per Table I / Figure 2:
+//   host controller -> serial link (vault % 4) -> crossbar -> vault
+//   vault -> crossbar -> serial link -> host controller
+// Links and the crossbar are timestamp-chained bandwidth models; vaults are
+// event-driven. One shared EnergyModel accumulates the whole cube's events.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "hmc/crossbar.hpp"
+#include "hmc/serial_link.hpp"
+#include "hmc/vault_controller.hpp"
+#include "prefetch/factory.hpp"
+
+namespace camps::hmc {
+
+struct HmcConfig {
+  HmcGeometry geometry;
+  FieldOrder field_order = kRoRaBaVaCo;
+  VaultConfig vault;
+  LinkParams link;
+  u32 num_links = 4;
+  CrossbarParams crossbar;
+  energy::EnergyParams energy;
+};
+
+class HmcDevice {
+ public:
+  /// Invoked when a read response reaches the host side of the links.
+  using DeliverFn = std::function<void(const MemRequest&)>;
+
+  HmcDevice(sim::Simulator& sim, const HmcConfig& config,
+            prefetch::SchemeKind scheme, const prefetch::SchemeParams& params,
+            StatRegistry* stats, DeliverFn deliver);
+
+  /// Sends a demand request into the cube at `now` (reads get a later
+  /// deliver() call; writes are posted).
+  void submit(const MemRequest& request, Tick now);
+
+  bool idle() const;
+
+  const AddressMap& map() const { return map_; }
+  const HmcConfig& config() const { return cfg_; }
+  energy::EnergyModel& energy() { return energy_; }
+  const energy::EnergyModel& energy() const { return energy_; }
+  const VaultController& vault(VaultId id) const { return *vaults_[id]; }
+  u32 vault_count() const { return static_cast<u32>(vaults_.size()); }
+
+  // --- whole-device aggregates (sum over vaults) ------------------------
+  u64 total_row_hits() const;
+  u64 total_row_empties() const;
+  u64 total_row_conflicts() const;
+  u64 total_prefetches() const;
+  u64 total_buffer_hits() const;
+  u64 total_buffer_misses() const;
+  /// Rows that proved useful / all rows ever prefetched (Fig. 7 metric).
+  double prefetch_accuracy() const;
+  /// Conflicts as a fraction of all DRAM row-buffer accesses (Fig. 6).
+  double row_conflict_rate() const;
+
+  /// Zeroes all vault counters and the energy model (warmup boundary).
+  void reset_stats();
+
+  /// Total serialization-busy ticks across all links, per direction.
+  Tick link_busy_ticks_down() const;
+  Tick link_busy_ticks_up() const;
+
+  /// Power-management wake-ups summed over all links and both directions
+  /// (0 unless LinkParams::power_management is enabled).
+  u64 link_wakeups() const;
+
+ private:
+  void on_vault_response(const MemRequest& request, VaultId vault,
+                         Tick ready);
+
+  sim::Simulator& sim_;
+  HmcConfig cfg_;
+  AddressMap map_;
+  energy::EnergyModel energy_;
+  std::vector<std::unique_ptr<SerialLink>> links_;
+  Crossbar down_xbar_;  ///< Link -> vault ports.
+  Crossbar up_xbar_;    ///< Vault -> link ports.
+  std::vector<std::unique_ptr<VaultController>> vaults_;
+  DeliverFn deliver_;
+};
+
+}  // namespace camps::hmc

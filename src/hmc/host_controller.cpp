@@ -1,0 +1,64 @@
+#include "hmc/host_controller.hpp"
+
+namespace camps::hmc {
+
+HostController::HostController(sim::Simulator& sim, const HmcConfig& config,
+                               prefetch::SchemeKind scheme,
+                               const prefetch::SchemeParams& params,
+                               StatRegistry* stats)
+    : sim_(sim),
+      device_(sim, config, scheme, params, stats,
+              [this](const MemRequest& req) { deliver(req); }) {}
+
+u64 HostController::read(Addr addr, CoreId core, CompletionFn on_done) {
+  MemRequest req;
+  req.id = next_id_++;
+  req.addr = addr;
+  req.type = AccessType::kRead;
+  req.core = core;
+  req.created = sim_.now();
+  outstanding_.emplace(req.id, std::move(on_done));
+  ++reads_;
+  device_.submit(req, sim_.now());
+  return req.id;
+}
+
+u64 HostController::write(Addr addr, CoreId core) {
+  MemRequest req;
+  req.id = next_id_++;
+  req.addr = addr;
+  req.type = AccessType::kWrite;
+  req.core = core;
+  req.created = sim_.now();
+  ++writes_;
+  device_.submit(req, sim_.now());
+  return req.id;
+}
+
+void HostController::deliver(const MemRequest& request) {
+  const auto it = outstanding_.find(request.id);
+  CAMPS_ASSERT_MSG(it != outstanding_.end(), "response for unknown request");
+  const u64 cycles =
+      (sim_.now() - request.created) / sim::kCpuTicksPerCycle;
+  latency_.sample(cycles);
+  latency_cycles_total_ += cycles;
+  ++completed_;
+  CompletionFn on_done = std::move(it->second);
+  outstanding_.erase(it);
+  if (on_done) on_done(request);
+}
+
+void HostController::reset_stats() {
+  latency_.reset();
+  latency_cycles_total_ = 0;
+  reads_ = writes_ = completed_ = 0;
+  device_.reset_stats();
+}
+
+double HostController::mean_read_latency_cycles() const {
+  return completed_ == 0 ? 0.0
+                         : static_cast<double>(latency_cycles_total_) /
+                               static_cast<double>(completed_);
+}
+
+}  // namespace camps::hmc

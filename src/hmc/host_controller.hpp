@@ -1,0 +1,59 @@
+// Host-side HMC controller.
+//
+// Sits between the L3 and the cube's serial links: assigns request ids,
+// tracks outstanding reads, invokes per-request completion callbacks, and
+// measures main-memory access latency (request submission to response
+// delivery) — the raw material of the paper's AMAT metric (Fig. 8).
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "hmc/hmc_device.hpp"
+
+namespace camps::hmc {
+
+class HostController {
+ public:
+  using CompletionFn = std::function<void(const MemRequest&)>;
+
+  HostController(sim::Simulator& sim, const HmcConfig& config,
+                 prefetch::SchemeKind scheme,
+                 const prefetch::SchemeParams& params, StatRegistry* stats);
+
+  /// Issues a read; `on_done` fires when the response returns.
+  u64 read(Addr addr, CoreId core, CompletionFn on_done);
+
+  /// Issues a posted write (no completion callback).
+  u64 write(Addr addr, CoreId core);
+
+  bool idle() const { return outstanding_.empty() && device_.idle(); }
+
+  HmcDevice& device() { return device_; }
+  const HmcDevice& device() const { return device_; }
+
+  // --- latency statistics ----------------------------------------------
+  u64 reads_issued() const { return reads_; }
+  u64 writes_issued() const { return writes_; }
+  u64 reads_completed() const { return completed_; }
+  /// Mean read latency in CPU cycles (submission -> delivery).
+  double mean_read_latency_cycles() const;
+  const Histogram& latency_histogram() const { return latency_; }
+
+  /// Zeroes latency statistics and the device's counters (outstanding
+  /// requests are unaffected); marks the warmup boundary.
+  void reset_stats();
+
+ private:
+  void deliver(const MemRequest& request);
+
+  sim::Simulator& sim_;
+  HmcDevice device_;
+  std::unordered_map<u64, CompletionFn> outstanding_;
+  Histogram latency_{/*bucket_width=*/25, /*num_buckets=*/128};
+  u64 next_id_ = 1;
+  u64 reads_ = 0, writes_ = 0, completed_ = 0;
+  u64 latency_cycles_total_ = 0;
+};
+
+}  // namespace camps::hmc

@@ -1,0 +1,11 @@
+// packet.hpp is header-only; this translation unit pins its static
+// expectations under the project's warning flags.
+#include "hmc/packet.hpp"
+
+namespace camps::hmc {
+
+static_assert(flits_for(PacketKind::kReadReq) == 1);
+static_assert(flits_for(PacketKind::kWriteReq) == 5);
+static_assert(flits_for(PacketKind::kReadResp) == 5);
+
+}  // namespace camps::hmc

@@ -1,0 +1,43 @@
+#include "hmc/serial_link.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "sim/clock.hpp"
+
+namespace camps::hmc {
+
+LinkDirection::LinkDirection(const LinkParams& params) : p_(params) {
+  CAMPS_ASSERT(p_.lanes > 0);
+  CAMPS_ASSERT(p_.gbps_per_lane > 0.0);
+}
+
+Tick LinkDirection::serialization_ticks(u32 flits) const {
+  // bytes/ns = lanes * gbps / 8; ticks = bytes / (bytes/ns) * ticksPerNs.
+  const double bytes = static_cast<double>(flits) * kFlitBytes;
+  const double bytes_per_ns = static_cast<double>(p_.lanes) * p_.gbps_per_lane / 8.0;
+  const double ns = bytes / bytes_per_ns;
+  return static_cast<Tick>(std::ceil(ns * static_cast<double>(sim::kTicksPerNs)));
+}
+
+Tick LinkDirection::submit(Tick now, u32 flits) {
+  CAMPS_ASSERT(flits > 0);
+  Tick start = std::max(now, busy_until_);
+  if (p_.power_management && packets_carried_ > 0 &&
+      now > busy_until_ && now - busy_until_ > p_.sleep_timeout) {
+    // The link slept through the idle gap; the SerDes must retrain before
+    // this packet serializes.
+    ticks_asleep_ += (now - busy_until_) - p_.sleep_timeout;
+    ++wakeups_;
+    start = now + p_.wake_ticks;
+  }
+  const Tick ser = serialization_ticks(flits);
+  busy_until_ = start + ser;
+  busy_ticks_ += ser;
+  flits_carried_ += flits;
+  ++packets_carried_;
+  return busy_until_ + p_.flight_ticks;
+}
+
+}  // namespace camps::hmc

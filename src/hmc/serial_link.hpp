@@ -1,0 +1,92 @@
+// Full-duplex HMC serial link (Table I: 4 links, 16 input + 16 output
+// lanes, 12.5 Gbps per lane).
+//
+// Each direction is an independent serializer: 16 lanes x 12.5 Gbps =
+// 25 GB/s, i.e. one 16 B flit every 0.64 ns. The tick quantum (1/24 ns)
+// cannot represent 0.64 ns exactly, so each packet's serialization time is
+// rounded UP to whole ticks — under-reporting link bandwidth by < 3%,
+// which is conservative for prefetching results (links look slightly more
+// congested than reality, never less). A fixed SerDes+flight latency is
+// added on top.
+#pragma once
+
+#include "common/types.hpp"
+#include "hmc/packet.hpp"
+
+namespace camps::hmc {
+
+struct LinkParams {
+  u32 lanes = 16;
+  double gbps_per_lane = 12.5;
+  /// One-way SerDes + propagation latency, in ticks (default 4 ns).
+  Tick flight_ticks = 96;
+
+  /// Link power management (extension; cf. Ahn et al., IEEE TVLSI 2016 —
+  /// the paper's reference [13]): after `sleep_timeout` idle ticks the
+  /// SerDes drops into a low-power state and the next packet pays
+  /// `wake_ticks` before serialization starts. Disabled by default — the
+  /// paper's configuration keeps links always on.
+  bool power_management = false;
+  Tick sleep_timeout = 24 * 100;  ///< 100 ns of idleness.
+  Tick wake_ticks = 24 * 40;      ///< 40 ns SerDes retrain.
+};
+
+/// One direction of one link: a bandwidth-limited FIFO pipe.
+class LinkDirection {
+ public:
+  explicit LinkDirection(const LinkParams& params = {});
+
+  /// Accepts a packet at `now`; returns its delivery tick at the far end.
+  /// Packets serialize in submission order (FIFO).
+  Tick submit(Tick now, u32 flits);
+
+  /// Serialization ticks for `flits` flits at this link's bandwidth.
+  Tick serialization_ticks(u32 flits) const;
+
+  Tick busy_until() const { return busy_until_; }
+  u64 flits_carried() const { return flits_carried_; }
+  u64 packets_carried() const { return packets_carried_; }
+  /// Ticks the link spent serializing (for utilization stats).
+  Tick busy_ticks() const { return busy_ticks_; }
+
+  // --- power management statistics (0 unless enabled) -------------------
+  u64 wakeups() const { return wakeups_; }
+  Tick ticks_asleep() const { return ticks_asleep_; }
+
+  /// Zeroes traffic statistics (the in-flight reservation is untouched);
+  /// marks the warmup boundary.
+  void reset_stats() {
+    busy_ticks_ = 0;
+    flits_carried_ = 0;
+    packets_carried_ = 0;
+    wakeups_ = 0;
+    ticks_asleep_ = 0;
+  }
+
+ private:
+  LinkParams p_;
+  Tick busy_until_ = 0;
+  Tick busy_ticks_ = 0;
+  u64 flits_carried_ = 0;
+  u64 packets_carried_ = 0;
+  u64 wakeups_ = 0;
+  Tick ticks_asleep_ = 0;
+};
+
+/// A full-duplex link: requests flow downstream, responses upstream.
+class SerialLink {
+ public:
+  explicit SerialLink(const LinkParams& params = {})
+      : down_(params), up_(params) {}
+
+  LinkDirection& downstream() { return down_; }
+  LinkDirection& upstream() { return up_; }
+  const LinkDirection& downstream() const { return down_; }
+  const LinkDirection& upstream() const { return up_; }
+
+ private:
+  LinkDirection down_;
+  LinkDirection up_;
+};
+
+}  // namespace camps::hmc

@@ -1,0 +1,583 @@
+#include "hmc/vault_controller.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace camps::hmc {
+
+using dram::RowBufferOutcome;
+using energy::EnergyEvent;
+
+VaultController::VaultController(
+    sim::Simulator& sim, VaultId id, const VaultConfig& config,
+    std::unique_ptr<prefetch::PrefetchScheme> scheme,
+    energy::EnergyModel* energy, StatRegistry* stats, RespondFn respond)
+    : sim_(sim),
+      id_(id),
+      cfg_(config),
+      banks_(),
+      buffer_(config.buffer, scheme->make_replacement()),
+      scheme_(std::move(scheme)),
+      refresh_(cfg_.timing, cfg_.refresh_enabled),
+      energy_(energy),
+      respond_(std::move(respond)) {
+  CAMPS_ASSERT(cfg_.banks > 0 && cfg_.banks <= 32);  // scheduler bank bitmask
+  CAMPS_ASSERT(cfg_.read_queue > 0 && cfg_.write_queue > 0);
+  CAMPS_ASSERT(cfg_.write_drain_low < cfg_.write_drain_high);
+  CAMPS_ASSERT(cfg_.write_drain_high <= cfg_.write_queue);
+  banks_.reserve(cfg_.banks);
+  for (u32 b = 0; b < cfg_.banks; ++b) banks_.emplace_back(cfg_.timing);
+  open_row_refs_.resize(cfg_.banks);
+  buffer_hit_ticks_ = cfg_.buffer.hit_latency * sim::kCpuTicksPerCycle;
+  if (stats != nullptr) {
+    const std::string prefix = "vault" + std::to_string(id_) + ".";
+    c_rb_hit_ = &stats->counter(prefix + "rb_hit");
+    c_rb_empty_ = &stats->counter(prefix + "rb_empty");
+    c_rb_conflict_ = &stats->counter(prefix + "rb_conflict");
+    c_buf_hit_ = &stats->counter(prefix + "buffer_hit");
+    c_prefetch_ = &stats->counter(prefix + "prefetch_issued");
+    h_queue_wait_ = &stats->histogram(prefix + "queue_wait_cycles",
+                                      /*bucket_width=*/8, /*num_buckets=*/64);
+  }
+}
+
+void VaultController::reset_stats() {
+  n_rb_hit_ = n_rb_empty_ = n_rb_conflict_ = 0;
+  n_reads_ = n_writes_ = 0;
+  n_prefetch_issued_ = n_prefetch_dropped_ = 0;
+  buffer_.reset_stats();
+}
+
+void VaultController::receive(const MemRequest& request,
+                              const DecodedAddr& addr, Tick now) {
+  CAMPS_ASSERT(addr.vault == id_);
+  QueueEntry entry;
+  entry.req = request;
+  entry.bank = addr.bank;
+  entry.row = addr.row;
+  entry.column = addr.column;
+  entry.enqueue_cycle = cycle_of(now);
+  ingress_.push_back(entry);
+  schedule_wake_at_cycle(cycle_of(sim::dram_clock().next_edge(now)));
+}
+
+bool VaultController::idle() const {
+  return ingress_.empty() && rdq_.empty() && wrq_.empty() &&
+         actions_.empty() && inflight_ == 0;
+}
+
+void VaultController::schedule_wake_at_cycle(u64 cycle) {
+  Tick when = tick_of(cycle);
+  if (when < sim_.now()) when = sim::dram_clock().next_edge(sim_.now());
+  // A pending wake may be far in the future (idle vault waiting for its
+  // refresh deadline); an earlier request supersedes it and the stale
+  // event becomes a no-op when it fires.
+  if (wake_scheduled_ && when >= next_wake_tick_) return;
+  wake_scheduled_ = true;
+  next_wake_tick_ = when;
+  sim_.schedule_at(when, [this, when] {
+    if (!wake_scheduled_ || when != next_wake_tick_) return;  // superseded
+    wake_scheduled_ = false;
+    wake();
+  });
+}
+
+void VaultController::schedule_next_wake(u64 cycle) {
+  const bool work = !ingress_.empty() || !rdq_.empty() || !wrq_.empty() ||
+                    !actions_.empty() || refresh_draining_;
+  if (work) {
+    schedule_wake_at_cycle(cycle + 1);
+  } else if (cfg_.refresh_enabled) {
+    // Sleep until the next refresh deadline so rows do not silently skip
+    // retention maintenance during idle phases.
+    schedule_wake_at_cycle(std::max(cycle + 1, refresh_.next_due()));
+  }
+}
+
+void VaultController::wake() {
+  const u64 cycle = cycle_of(sim_.now());
+  admit_ingress(cycle);
+  // Priority: refresh integrity, then demand data (row hits), then pending
+  // row copies (so a CAMPS fetch+precharge lands before another demand
+  // reopens the bank), then demand PRE/ACT progress.
+  bool used_slot = refresh_step(cycle);
+  // While draining for refresh, nothing else may issue — demand ACTs would
+  // keep reopening banks and the drain would never converge.
+  if (!refresh_draining_) {
+    // Aged prefetch work jumps ahead of demand columns once: a copy that
+    // lands after its stream has moved on is pure waste.
+    bool aged = false;
+    for (const auto& action : actions_) {
+      if (!action.fetch_issued &&
+          cycle >= action.created_cycle + kPrefetchAgingCycles) {
+        aged = true;
+        break;
+      }
+    }
+    if (aged && !used_slot) used_slot = issue_prefetch(cycle);
+    if (!used_slot) used_slot = issue_demand_column(cycle);
+    if (!used_slot) used_slot = issue_prefetch(cycle);
+    if (!used_slot) advance_demand_bank(cycle);
+  }
+  schedule_next_wake(cycle);
+}
+
+bool VaultController::serve_from_buffer(const QueueEntry& entry, u64 cycle,
+                                        bool count_miss) {
+  const BankRow key{entry.bank, entry.row};
+  const auto stamp = buffer_.insert_stamp(key);
+  if (!stamp) {
+    if (count_miss) buffer_.count_miss();
+    return false;
+  }
+  // A request that was already waiting when the row landed is a demand the
+  // copy happened to serve, not something the prefetch anticipated: it
+  // counts toward utilization but not usefulness.
+  const bool predates_insert = entry.enqueue_cycle < *stamp;
+  buffer_.access(key, entry.column, entry.req.type,
+                 /*fill_touch=*/predates_insert);
+  if (c_buf_hit_ != nullptr) c_buf_hit_->inc();
+  if (energy_ != nullptr) energy_->add(EnergyEvent::kBufferAccess);
+  prefetch::AccessContext ctx{.bank = entry.bank,
+                              .row = entry.row,
+                              .line = entry.column,
+                              .type = entry.req.type,
+                              .outcome = RowBufferOutcome::kHit,
+                              .queued_same_row = 0,
+                              .dram_cycle = cycle};
+  scheme_->on_buffer_hit(ctx);
+  if (entry.req.type == AccessType::kRead) {
+    respond_(entry.req, tick_of(cycle) + buffer_hit_ticks_);
+  }
+  return true;
+}
+
+void VaultController::admit_ingress(u64 cycle) {
+  while (!ingress_.empty()) {
+    QueueEntry& entry = ingress_.front();
+    if (serve_from_buffer(entry, cycle, /*count_miss=*/true)) {
+      ingress_.pop_front();
+      continue;
+    }
+    auto& queue = entry.req.type == AccessType::kRead ? rdq_ : wrq_;
+    const u32 limit = entry.req.type == AccessType::kRead ? cfg_.read_queue
+                                                          : cfg_.write_queue;
+    if (queue.size() >= limit) break;  // backpressure: wait in ingress
+    queue.push_back(entry);
+    ingress_.pop_front();
+  }
+}
+
+bool VaultController::refresh_step(u64 cycle) {
+  if (!cfg_.refresh_enabled) return false;
+  if (!refresh_draining_ && refresh_.due(cycle) &&
+      !refresh_.in_progress(cycle)) {
+    refresh_draining_ = true;
+  }
+  if (!refresh_draining_) return false;
+
+  // Close any open bank, one PRE per cycle.
+  for (auto& bank : banks_) {
+    const dram::BankState s = bank.state(cycle);
+    if (s == dram::BankState::kActive || s == dram::BankState::kActivating) {
+      if (bank.earliest_precharge(cycle) == cycle) {
+        bank.precharge(cycle);
+        if (energy_ != nullptr) energy_->add(EnergyEvent::kPrecharge);
+        return true;
+      }
+      return false;  // must wait for this bank's timing
+    }
+    if (s == dram::BankState::kPrecharging) return false;  // settle first
+  }
+
+  // All banks precharged: launch the all-bank refresh.
+  for (auto& bank : banks_) bank.refresh(cycle);
+  refresh_.start(cycle);
+  if (energy_ != nullptr) energy_->add(EnergyEvent::kRefresh);
+  refresh_draining_ = false;
+  return true;
+}
+
+u32 VaultController::queued_same_row(const QueueEntry& entry) const {
+  u32 count = 0;
+  for (const auto& other : rdq_) {
+    if (other.req.id == entry.req.id) continue;
+    if (other.bank == entry.bank && other.row == entry.row) ++count;
+  }
+  return count;
+}
+
+void VaultController::classify_if_new(QueueEntry& entry, u64 cycle) {
+  if (entry.started) return;
+  entry.started = true;
+  entry.outcome = banks_[entry.bank].classify(cycle, entry.row);
+  switch (entry.outcome) {
+    case RowBufferOutcome::kHit:
+      ++n_rb_hit_;
+      if (c_rb_hit_ != nullptr) c_rb_hit_->inc();
+      break;
+    case RowBufferOutcome::kEmpty:
+      ++n_rb_empty_;
+      if (c_rb_empty_ != nullptr) c_rb_empty_->inc();
+      break;
+    case RowBufferOutcome::kConflict:
+      ++n_rb_conflict_;
+      if (c_rb_conflict_ != nullptr) c_rb_conflict_->inc();
+      break;
+  }
+}
+
+void VaultController::apply_decision(
+    const prefetch::PrefetchDecision& decision, const QueueEntry& entry) {
+  if (!decision.any()) return;
+  auto enqueue_action = [this](BankId bank, RowId row, bool precharge_after) {
+    const BankRow key{bank, row};
+    if (buffer_.contains(key)) {
+      ++n_prefetch_dropped_;
+      return;
+    }
+    // Duplicate suppression against already-queued actions.
+    for (const auto& action : actions_) {
+      if (action.bank == bank && action.row == row) {
+        ++n_prefetch_dropped_;
+        return;
+      }
+    }
+    actions_.push_back(PfAction{.bank = bank,
+                                .row = row,
+                                .precharge_after = precharge_after,
+                                .fetch_issued = false,
+                                .fetch_done_cycle = 0,
+                                .created_cycle = cycle_of(sim_.now())});
+  };
+  if (decision.fetch_row) {
+    enqueue_action(entry.bank, entry.row, decision.precharge_after);
+  }
+  for (RowId extra : decision.extra_rows) {
+    enqueue_action(entry.bank, extra, false);
+  }
+}
+
+void VaultController::note_row_reference(BankId bank, RowId row,
+                                         LineId line) {
+  auto& refs = open_row_refs_[bank];
+  if (refs.row != row) refs = OpenRowRefs{row, 0};
+  refs.bitmap |= u64{1} << line;
+}
+
+u64 VaultController::row_reference_bitmap(BankId bank, RowId row) const {
+  const auto& refs = open_row_refs_[bank];
+  return refs.row == row ? refs.bitmap : 0;
+}
+
+void VaultController::serve_via_fetch(const QueueEntry& entry, u64 cycle,
+                                      bool precharge_after) {
+  dram::Bank& bank = banks_[entry.bank];
+  const u64 done = bank.fetch_row(cycle);
+  if (cfg_.row_fetch_uses_bus) bus_free_cycle_ = done;
+  if (energy_ != nullptr) energy_->add(EnergyEvent::kRowFetch);
+
+  const BankId b = entry.bank;
+  const RowId row = entry.row;
+  const LineId line = entry.column;
+  const AccessType type = entry.req.type;
+  note_row_reference(b, row, line);
+  const u64 seed =
+      cfg_.seed_buffer_utilization ? row_reference_bitmap(b, row) : 0;
+  sim_.schedule_at(tick_of(done), [this, b, row, line, type, seed, cycle] {
+    complete_fetch(b, row, seed, cycle);
+    // The demanded line is consumed out of the freshly landed row; it was
+    // demanded, not prefetched, so it does not count toward usefulness.
+    buffer_.access(BankRow{b, row}, line, type, /*fill_touch=*/true);
+  });
+  if (entry.req.type == AccessType::kRead) {
+    ++n_reads_;
+    ++inflight_;
+    const MemRequest req = entry.req;
+    const Tick ready = tick_of(done) + buffer_hit_ticks_;
+    sim_.schedule_at(ready, [this, req, ready] {
+      --inflight_;
+      respond_(req, ready);
+    });
+  } else {
+    ++n_writes_;
+  }
+  if (precharge_after) {
+    actions_.push_back(PfAction{.bank = entry.bank,
+                                .row = entry.row,
+                                .precharge_after = true,
+                                .fetch_issued = true,
+                                .fetch_done_cycle = done,
+                                .created_cycle = cycle});
+  }
+}
+
+bool VaultController::issue_demand_column(u64 cycle) {
+  update_drain_mode();
+  auto& queue = draining_writes_ ? wrq_ : rdq_;
+  if (queue.empty()) return false;
+
+  // Re-check the prefetch buffer: rows may have landed since enqueue.
+  for (auto it = queue.begin(); it != queue.end();) {
+    if (serve_from_buffer(*it, cycle, /*count_miss=*/false)) {
+      it = queue.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (queue.empty()) return false;
+
+  const auto& t = cfg_.timing;
+
+  // First-ready pass: oldest request whose column command can issue now.
+  for (auto it = queue.begin(); it != queue.end(); ++it) {
+    dram::Bank& bank = banks_[it->bank];
+    if (bank.classify(cycle, it->row) != RowBufferOutcome::kHit) continue;
+    if (bank.earliest_column(cycle) != cycle) continue;
+    const u64 data_start =
+        cycle + (it->req.type == AccessType::kRead ? t.tCL : t.tWL);
+    if (bus_free_cycle_ > data_start) continue;
+
+    classify_if_new(*it, cycle);
+    prefetch::AccessContext ctx{.bank = it->bank,
+                                .row = it->row,
+                                .line = it->column,
+                                .type = it->req.type,
+                                .outcome = it->outcome,
+                                .queued_same_row = queued_same_row(*it),
+                                .dram_cycle = cycle};
+    const prefetch::PrefetchDecision decision =
+        scheme_->on_demand_access(ctx);
+
+    if (decision.fetch_row && decision.serve_via_buffer &&
+        !buffer_.contains(BankRow{it->bank, it->row})) {
+      // BASE: the demand rides the row copy itself.
+      serve_via_fetch(*it, cycle, decision.precharge_after);
+      prefetch::PrefetchDecision extras = decision;
+      extras.fetch_row = false;  // the copy is already in flight
+      apply_decision(extras, *it);
+      queue.erase(it);
+      return true;
+    }
+
+    note_row_reference(it->bank, it->row, it->column);
+    if (h_queue_wait_ != nullptr) {
+      h_queue_wait_->sample(cycle - std::min(cycle, it->enqueue_cycle));
+    }
+    u64 done;
+    if (it->req.type == AccessType::kRead) {
+      done = bank.read(cycle);
+      ++n_reads_;
+      ++inflight_;
+      if (energy_ != nullptr) energy_->add(EnergyEvent::kReadLine);
+      const MemRequest req = it->req;
+      const Tick ready = tick_of(done);
+      sim_.schedule_at(ready, [this, req, ready] {
+        --inflight_;
+        respond_(req, ready);
+      });
+    } else {
+      done = bank.write(cycle);
+      ++n_writes_;
+      if (energy_ != nullptr) energy_->add(EnergyEvent::kWriteLine);
+      // Posted write: completes silently.
+    }
+    bus_free_cycle_ = done;
+    apply_decision(decision, *it);
+    if (cfg_.page_policy == PagePolicy::kClosed && !decision.precharge_after) {
+      // Closed page: schedule a precharge once no queued demand still
+      // targets this row (the executor checks both conditions).
+      bool queued = false;
+      for (const auto& action : actions_) {
+        if (action.bank == it->bank && action.row == it->row) {
+          queued = true;
+          break;
+        }
+      }
+      if (!queued) {
+        actions_.push_back(PfAction{.bank = it->bank,
+                                    .row = it->row,
+                                    .precharge_after = true,
+                                    .fetch_issued = true,
+                                    .fetch_done_cycle = cycle,
+                                    .created_cycle = cycle});
+      }
+    }
+    queue.erase(it);
+    return true;
+  }
+  return false;
+}
+
+bool VaultController::advance_demand_bank(u64 cycle) {
+  auto& queue = draining_writes_ ? wrq_ : rdq_;
+  if (queue.empty()) return false;
+  // Advance the oldest request of each bank (younger requests to the same
+  // bank must not interleave PRE/ACT with it); issue at most one command.
+  u32 banks_seen = 0;  // bitmask; cfg_.banks <= 32 in any sane config
+  for (auto& entry : queue) {
+    const u32 bank_bit = 1u << entry.bank;
+    if (banks_seen & bank_bit) continue;
+    banks_seen |= bank_bit;
+
+    dram::Bank& bank = banks_[entry.bank];
+    switch (bank.state(cycle)) {
+      case dram::BankState::kActive:
+        // Wrong row open (a hit would have issued a column in
+        // issue_demand_column, unless only the bus blocked it — then wait).
+        if (bank.open_row(cycle) != std::make_optional(entry.row) &&
+            bank.earliest_precharge(cycle) == cycle) {
+          classify_if_new(entry, cycle);
+          bank.precharge(cycle);
+          if (energy_ != nullptr) energy_->add(EnergyEvent::kPrecharge);
+          return true;
+        }
+        break;
+      case dram::BankState::kPrecharged:
+        if (bank.earliest_activate(cycle) == cycle && act_allowed(cycle)) {
+          classify_if_new(entry, cycle);
+          bank.activate(cycle, entry.row);
+          record_act(cycle);
+          if (energy_ != nullptr) energy_->add(EnergyEvent::kActivate);
+          return true;
+        }
+        break;
+      default:
+        break;  // transient state; wait for it to settle
+    }
+  }
+  return false;
+}
+
+void VaultController::update_drain_mode() {
+  if (draining_writes_) {
+    if (wrq_.size() <= cfg_.write_drain_low) draining_writes_ = false;
+  } else {
+    if (wrq_.size() >= cfg_.write_drain_high ||
+        (rdq_.empty() && !wrq_.empty())) {
+      draining_writes_ = true;
+    }
+  }
+}
+
+void VaultController::complete_fetch(BankId bank, RowId row,
+                                     u64 seed_bitmap, u64 issue_cycle) {
+  const auto result =
+      buffer_.insert(BankRow{bank, row}, seed_bitmap, issue_cycle);
+  if (!result.inserted) return;
+  ++n_prefetch_issued_;
+  if (c_prefetch_ != nullptr) c_prefetch_->inc();
+  if (result.victim) {
+    scheme_->on_prefetch_evicted(result.victim->id, result.victim->referenced);
+    if (result.victim->dirty && energy_ != nullptr) {
+      energy_->add(EnergyEvent::kRowWriteback);
+    }
+  }
+}
+
+bool VaultController::issue_prefetch(u64 cycle) {
+  for (auto it = actions_.begin(); it != actions_.end();) {
+    PfAction& action = *it;
+    dram::Bank& bank = banks_[action.bank];
+
+    if (action.fetch_issued) {
+      // Waiting to precharge after the copy (or, under the closed-page
+      // policy, after the column access) completes. Pending demand to the
+      // same row defers the close: after a CAMPS fetch those demands drain
+      // via the buffer first; under closed page they are row hits we must
+      // not destroy.
+      if (cycle >= action.fetch_done_cycle &&
+          bank.state(cycle) == dram::BankState::kActive &&
+          bank.open_row(cycle) == std::make_optional(action.row)) {
+        bool demanded = false;
+        for (const auto& e : rdq_) {
+          if (e.bank == action.bank && e.row == action.row) {
+            demanded = true;
+            break;
+          }
+        }
+        if (!demanded && bank.earliest_precharge(cycle) == cycle) {
+          bank.precharge(cycle);
+          if (energy_ != nullptr) energy_->add(EnergyEvent::kPrecharge);
+          actions_.erase(it);
+          return true;
+        }
+      } else if (bank.open_row(cycle) != std::make_optional(action.row) &&
+                 cycle >= action.fetch_done_cycle) {
+        // The row already closed (e.g. refresh drain): nothing left to do.
+        it = actions_.erase(it);
+        continue;
+      }
+      ++it;
+      continue;
+    }
+
+    if (buffer_.contains(BankRow{action.bank, action.row})) {
+      ++n_prefetch_dropped_;
+      it = actions_.erase(it);
+      continue;
+    }
+
+    switch (bank.state(cycle)) {
+      case dram::BankState::kActive: {
+        if (bank.open_row(cycle) == std::make_optional(action.row)) {
+          const u64 start = bank.earliest_column(cycle);
+          if (start == cycle &&
+              (!cfg_.row_fetch_uses_bus || bus_free_cycle_ <= cycle)) {
+            const u64 done = bank.fetch_row(cycle);
+            if (cfg_.row_fetch_uses_bus) bus_free_cycle_ = done;
+            if (energy_ != nullptr) energy_->add(EnergyEvent::kRowFetch);
+            const BankId b = action.bank;
+            const RowId r = action.row;
+            const u64 seed =
+                cfg_.seed_buffer_utilization ? row_reference_bitmap(b, r) : 0;
+            sim_.schedule_at(tick_of(done), [this, b, r, seed, cycle] {
+              complete_fetch(b, r, seed, cycle);
+            });
+            if (action.precharge_after) {
+              action.fetch_issued = true;
+              action.fetch_done_cycle = done;
+            } else {
+              actions_.erase(it);
+            }
+            return true;
+          }
+        } else {
+          // Another row occupies the bank (MMD extra rows). Close it only
+          // if no queued demand still wants it — a prefetch must never
+          // turn a pending row hit into a conflict.
+          const auto open = bank.open_row(cycle);
+          bool demanded = false;
+          for (const auto& e : rdq_) {
+            if (e.bank == action.bank && open == std::make_optional(e.row)) {
+              demanded = true;
+              break;
+            }
+          }
+          if (!demanded && bank.earliest_precharge(cycle) == cycle) {
+            bank.precharge(cycle);
+            if (energy_ != nullptr) energy_->add(EnergyEvent::kPrecharge);
+            return true;
+          }
+        }
+        ++it;
+        continue;
+      }
+      case dram::BankState::kPrecharged:
+        if (bank.earliest_activate(cycle) == cycle && act_allowed(cycle)) {
+          bank.activate(cycle, action.row);
+          record_act(cycle);
+          if (energy_ != nullptr) energy_->add(EnergyEvent::kActivate);
+          return true;
+        }
+        ++it;
+        continue;
+      default:
+        ++it;
+        continue;
+    }
+  }
+  return false;
+}
+
+}  // namespace camps::hmc

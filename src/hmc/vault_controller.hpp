@@ -1,0 +1,220 @@
+// One HMC vault controller (logic-layer slice).
+//
+// Owns: 16 DRAM banks, a 32-entry read queue and 32-entry write queue
+// (Table I), an FR-FCFS scheduler with write-drain hysteresis, the
+// autonomous refresh engine, the per-vault TSV data bus, and — the paper's
+// subject — the prefetch engine: a PrefetchScheme making row-fetch
+// decisions and a PrefetchBuffer holding fetched rows.
+//
+// Event model: the controller wakes once per DRAM cycle while it has any
+// work, issuing at most one DRAM command per wake (single command bus per
+// vault) plus any number of prefetch-buffer serves (logic-layer SRAM, not
+// on the DRAM command bus). When idle it sleeps until traffic or the next
+// refresh deadline.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "dram/bank.hpp"
+#include "dram/refresh.hpp"
+#include "energy/energy_model.hpp"
+#include "hmc/address_map.hpp"
+#include "hmc/packet.hpp"
+#include "prefetch/prefetch_buffer.hpp"
+#include "prefetch/scheme.hpp"
+#include "sim/clock.hpp"
+#include "sim/simulator.hpp"
+
+namespace camps::hmc {
+
+/// Row-buffer management policy (Table I fixes open page).
+enum class PagePolicy : u8 {
+  kOpen,    ///< Rows stay open until displaced (FR-FCFS exploits hits).
+  kClosed,  ///< Rows close as soon as no queued demand wants them.
+};
+
+struct VaultConfig {
+  dram::TimingParams timing = dram::default_timing();
+  PagePolicy page_policy = PagePolicy::kOpen;
+  u32 banks = 16;
+  u32 read_queue = 32;
+  u32 write_queue = 32;
+  /// Write-drain hysteresis: start draining at >= high, stop at <= low.
+  u32 write_drain_high = 24;
+  u32 write_drain_low = 8;
+  prefetch::PrefetchBufferConfig buffer;  ///< hit_latency is in CPU cycles.
+  bool refresh_enabled = true;
+  /// Seed a fetched row's utilization bitmap with the lines already served
+  /// while it sat in the DRAM row buffer, so Section 3.2's full-utilization
+  /// test sees the row's whole life. Ablatable.
+  bool seed_buffer_utilization = true;
+  /// When true, a row copy occupies the vault's demand data bus for its
+  /// whole duration. The paper's premise (Section 2.4) is that copies ride
+  /// the wide internal TSVs instead, so the default is false — the copy
+  /// only occupies the *bank*. Enable for the bandwidth-coupling ablation.
+  bool row_fetch_uses_bus = false;
+};
+
+class VaultController {
+ public:
+  /// Called when a read's data is ready to leave the vault (the device
+  /// adds crossbar + link delays on top of `ready`).
+  using RespondFn = std::function<void(const MemRequest&, Tick ready)>;
+
+  VaultController(sim::Simulator& sim, VaultId id, const VaultConfig& config,
+                  std::unique_ptr<prefetch::PrefetchScheme> scheme,
+                  energy::EnergyModel* energy, StatRegistry* stats,
+                  RespondFn respond);
+
+  VaultController(const VaultController&) = delete;
+  VaultController& operator=(const VaultController&) = delete;
+
+  /// Accepts a demand request (already decoded to this vault) at `now`.
+  void receive(const MemRequest& request, const DecodedAddr& addr, Tick now);
+
+  /// True when all queues, actions, and in-flight work have drained.
+  bool idle() const;
+
+  VaultId id() const { return id_; }
+  const prefetch::PrefetchBuffer& buffer() const { return buffer_; }
+  const prefetch::PrefetchScheme& scheme() const { return *scheme_; }
+
+  // --- aggregate accessors used by results reporting -------------------
+  u64 row_hits() const { return n_rb_hit_; }
+  u64 row_empties() const { return n_rb_empty_; }
+  u64 row_conflicts() const { return n_rb_conflict_; }
+  u64 demand_reads() const { return n_reads_; }
+  u64 demand_writes() const { return n_writes_; }
+  u64 prefetches_issued() const { return n_prefetch_issued_; }
+  u64 prefetches_dropped() const { return n_prefetch_dropped_; }
+
+  /// Zeroes counters (scheduler and buffer contents are untouched); marks
+  /// the warmup / measurement boundary.
+  void reset_stats();
+
+ private:
+  struct QueueEntry {
+    MemRequest req;
+    BankId bank = 0;
+    RowId row = 0;
+    LineId column = 0;
+    u64 enqueue_cycle = 0;
+    bool started = false;  ///< First command already issued for it.
+    dram::RowBufferOutcome outcome = dram::RowBufferOutcome::kEmpty;
+  };
+
+  /// A pending row prefetch (possibly multi-step: PRE, ACT, fetch, PRE).
+  struct PfAction {
+    BankId bank = 0;
+    RowId row = 0;
+    bool precharge_after = false;
+    bool fetch_issued = false;
+    u64 fetch_done_cycle = 0;
+    u64 created_cycle = 0;
+  };
+
+  /// Demand columns normally outrank prefetch work, but a copy that has
+  /// starved this long jumps the queue — a prefetch that lands after its
+  /// stream has passed is pure waste.
+  static constexpr u64 kPrefetchAgingCycles = 12;
+
+  // Scheduler phases (all take the current DRAM cycle).
+  void wake();
+  void schedule_wake_at_cycle(u64 cycle);
+  void schedule_next_wake(u64 cycle);
+  void admit_ingress(u64 cycle);
+  // Each returns true if it consumed this cycle's command slot.
+  bool refresh_step(u64 cycle);
+  bool issue_demand_column(u64 cycle);
+  bool advance_demand_bank(u64 cycle);
+  bool issue_prefetch(u64 cycle);
+
+  /// Issues the row copy serving `entry` itself (BASE's serve-via-buffer
+  /// path). Pre: bank open on the row, column path and bus ready.
+  void serve_via_fetch(const QueueEntry& entry, u64 cycle,
+                       bool precharge_after);
+
+  bool serve_from_buffer(const QueueEntry& entry, u64 cycle,
+                         bool count_miss);
+
+  /// Marks `line` of (bank,row) referenced in the open-row tracking used
+  /// to seed buffer entries on fetch.
+  void note_row_reference(BankId bank, RowId row, LineId line);
+  u64 row_reference_bitmap(BankId bank, RowId row) const;
+  void classify_if_new(QueueEntry& entry, u64 cycle);
+  u32 queued_same_row(const QueueEntry& entry) const;
+  void apply_decision(const prefetch::PrefetchDecision& decision,
+                      const QueueEntry& entry);
+  /// `issue_cycle` stamps the insert: requests enqueued before the fetch
+  /// was issued are demands it reacted to, not anticipations.
+  void complete_fetch(BankId bank, RowId row, u64 seed_bitmap,
+                      u64 issue_cycle);
+  void update_drain_mode();
+
+  Tick tick_of(u64 cycle) const { return cycle * sim::kDramTicksPerCycle; }
+  u64 cycle_of(Tick tick) const { return tick / sim::kDramTicksPerCycle; }
+
+  sim::Simulator& sim_;
+  VaultId id_;
+  VaultConfig cfg_;
+  std::vector<dram::Bank> banks_;
+  prefetch::PrefetchBuffer buffer_;
+  std::unique_ptr<prefetch::PrefetchScheme> scheme_;
+  dram::RefreshScheduler refresh_;
+  energy::EnergyModel* energy_;  ///< Shared, device-wide. May be null.
+  RespondFn respond_;
+  Tick buffer_hit_ticks_;
+
+  std::deque<QueueEntry> ingress_;
+  std::deque<QueueEntry> rdq_;
+  std::deque<QueueEntry> wrq_;
+  std::deque<PfAction> actions_;
+
+  u64 bus_free_cycle_ = 0;  ///< Vault TSV data bus reservation.
+  u64 next_act_cycle_ = 0;  ///< tRRD: earliest cycle any bank may ACT.
+  /// tFAW: ring of the last four ACTs, each stored as (act_cycle + tFAW) —
+  /// the cycle at which that ACT stops constraining. A fifth ACT must wait
+  /// for the oldest entry. Zero-initialised entries never constrain.
+  std::array<u64, 4> act_window_{};
+  u32 act_window_pos_ = 0;
+
+  /// True when a new ACT at `cycle` satisfies both tRRD and tFAW.
+  bool act_allowed(u64 cycle) const {
+    return cycle >= next_act_cycle_ && cycle >= act_window_[act_window_pos_];
+  }
+  void record_act(u64 cycle) {
+    next_act_cycle_ = cycle + cfg_.timing.tRRD;
+    act_window_[act_window_pos_] = cycle + cfg_.timing.tFAW;
+    act_window_pos_ = (act_window_pos_ + 1) % 4;
+  }
+  /// Per-bank (row, referenced-line bitmap) of the most recent open row;
+  /// seeds buffer utilization when that row is fetched.
+  struct OpenRowRefs {
+    RowId row = 0;
+    u64 bitmap = 0;
+  };
+  std::vector<OpenRowRefs> open_row_refs_;
+  bool draining_writes_ = false;
+  bool refresh_draining_ = false;
+  bool wake_scheduled_ = false;
+  Tick next_wake_tick_ = 0;  ///< Earliest pending wake; later ones are stale.
+  u64 inflight_ = 0;  ///< Reads issued to DRAM whose data is still in flight.
+
+  // Statistics (registry-backed where a registry is provided).
+  u64 n_rb_hit_ = 0, n_rb_empty_ = 0, n_rb_conflict_ = 0;
+  u64 n_reads_ = 0, n_writes_ = 0;
+  u64 n_prefetch_issued_ = 0, n_prefetch_dropped_ = 0;
+  Counter* c_rb_hit_ = nullptr;
+  Counter* c_rb_empty_ = nullptr;
+  Counter* c_rb_conflict_ = nullptr;
+  Counter* c_buf_hit_ = nullptr;
+  Counter* c_prefetch_ = nullptr;
+  Histogram* h_queue_wait_ = nullptr;  ///< DRAM cycles from enqueue to issue.
+};
+
+}  // namespace camps::hmc

@@ -1,0 +1,44 @@
+#include "prefetch/conflict_table.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace camps::prefetch {
+
+ConflictTable::ConflictTable(u32 entries) : capacity_(entries) {
+  CAMPS_ASSERT(entries > 0);
+}
+
+bool ConflictTable::contains(BankRow id) const {
+  return std::find(lru_.begin(), lru_.end(), id) != lru_.end();
+}
+
+std::optional<BankRow> ConflictTable::insert(BankRow id) {
+  const auto it = std::find(lru_.begin(), lru_.end(), id);
+  if (it != lru_.end()) {
+    lru_.erase(it);
+    lru_.push_front(id);
+    return std::nullopt;
+  }
+  std::optional<BankRow> evicted;
+  if (lru_.size() == capacity_) {
+    evicted = lru_.back();
+    lru_.pop_back();
+  }
+  lru_.push_front(id);
+  return evicted;
+}
+
+bool ConflictTable::remove(BankRow id) {
+  const auto it = std::find(lru_.begin(), lru_.end(), id);
+  if (it == lru_.end()) return false;
+  lru_.erase(it);
+  return true;
+}
+
+std::vector<BankRow> ConflictTable::snapshot() const {
+  return {lru_.begin(), lru_.end()};
+}
+
+}  // namespace camps::prefetch

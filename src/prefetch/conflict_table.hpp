@@ -1,0 +1,46 @@
+// Conflict Table (Section 3.1).
+//
+// Fully associative, 32 entries per vault, shared by all the vault's banks,
+// LRU-replaced. It remembers rows recently displaced from row buffers; a
+// newly activated row found here has caused a row-buffer conflict recently
+// and becomes a prefetch candidate.
+#pragma once
+
+#include <list>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace camps::prefetch {
+
+class ConflictTable {
+ public:
+  explicit ConflictTable(u32 entries = 32);
+
+  /// True if (bank,row) is present. Does not update LRU order (pure query).
+  bool contains(BankRow id) const;
+
+  /// Inserts (bank,row) as MRU. If present already, refreshes its LRU
+  /// position. If full, evicts the LRU entry and returns it.
+  std::optional<BankRow> insert(BankRow id);
+
+  /// Removes the entry if present (after its row has been prefetched).
+  /// Returns true when something was removed.
+  bool remove(BankRow id);
+
+  u32 size() const { return static_cast<u32>(lru_.size()); }
+  u32 capacity() const { return capacity_; }
+
+  /// LRU-ordered snapshot, MRU first (for tests/inspection).
+  std::vector<BankRow> snapshot() const;
+
+  /// Hardware footprint in bits (paper: 32 entries x 20 bits per vault).
+  u64 overhead_bits() const { return u64{capacity_} * 20; }
+
+ private:
+  u32 capacity_;
+  std::list<BankRow> lru_;  ///< Front = MRU. 32 entries: linear scan is fine.
+};
+
+}  // namespace camps::prefetch

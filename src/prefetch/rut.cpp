@@ -1,0 +1,42 @@
+#include "prefetch/rut.hpp"
+
+#include "common/assert.hpp"
+
+namespace camps::prefetch {
+
+RowUtilizationTable::RowUtilizationTable(u32 banks) : entries_(banks) {
+  CAMPS_ASSERT(banks > 0);
+}
+
+u32 RowUtilizationTable::touch(BankId bank, RowId row) {
+  CAMPS_ASSERT(bank < entries_.size());
+  auto& slot = entries_[bank];
+  if (!slot || slot->row != row) {
+    slot = Entry{row, 1};
+    return 1;
+  }
+  return ++slot->count;
+}
+
+std::optional<RowUtilizationTable::Entry> RowUtilizationTable::displace(
+    BankId bank, RowId incoming) {
+  CAMPS_ASSERT(bank < entries_.size());
+  auto& slot = entries_[bank];
+  if (!slot || slot->row == incoming) return std::nullopt;
+  Entry displaced = *slot;
+  slot.reset();
+  return displaced;
+}
+
+void RowUtilizationTable::remove(BankId bank) {
+  CAMPS_ASSERT(bank < entries_.size());
+  entries_[bank].reset();
+}
+
+std::optional<RowUtilizationTable::Entry> RowUtilizationTable::entry(
+    BankId bank) const {
+  CAMPS_ASSERT(bank < entries_.size());
+  return entries_[bank];
+}
+
+}  // namespace camps::prefetch

@@ -1,0 +1,49 @@
+// Row Utilization Table (Section 3.1).
+//
+// One entry per bank in the vault (Table I: 16 banks). Each entry remembers
+// which row currently owns the bank's profile and how many requests that
+// row has served. When a different row takes over the bank, the displaced
+// entry is handed to the caller so the CAMPS scheme can move it into the
+// Conflict Table — the table itself stays policy-free.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace camps::prefetch {
+
+class RowUtilizationTable {
+ public:
+  struct Entry {
+    RowId row = 0;
+    u32 count = 0;
+  };
+
+  explicit RowUtilizationTable(u32 banks);
+
+  /// Records one served request for (bank, row). Creates the entry with
+  /// count 1 if the bank had none or tracked a different row (the caller
+  /// must have handled displacement via `displace` first). Returns the
+  /// updated count.
+  u32 touch(BankId bank, RowId row);
+
+  /// If the bank tracks a row different from `incoming`, removes and
+  /// returns that entry (it is being displaced by the newly opened row).
+  std::optional<Entry> displace(BankId bank, RowId incoming);
+
+  /// Drops the bank's entry (after its row was prefetched).
+  void remove(BankId bank);
+
+  std::optional<Entry> entry(BankId bank) const;
+  u32 banks() const { return static_cast<u32>(entries_.size()); }
+
+  /// Hardware footprint in bits (paper: 16 entries x 20 bits per vault).
+  u64 overhead_bits() const { return u64{entries_.size()} * 20; }
+
+ private:
+  std::vector<std::optional<Entry>> entries_;
+};
+
+}  // namespace camps::prefetch

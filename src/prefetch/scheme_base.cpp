@@ -1,0 +1,18 @@
+#include "prefetch/scheme_base.hpp"
+
+namespace camps::prefetch {
+
+PrefetchDecision BaseScheme::on_demand_access(const AccessContext& ctx) {
+  // Every demand access that reaches the DRAM moves the whole row into the
+  // prefetch buffer and is served from there; the bank precharges once the
+  // copy completes. Consequently the bank is precharged between uses (no
+  // row-buffer conflicts) and every miss pays the full row-copy latency.
+  (void)ctx;
+  PrefetchDecision d;
+  d.fetch_row = true;
+  d.precharge_after = true;
+  d.serve_via_buffer = true;
+  return d;
+}
+
+}  // namespace camps::prefetch

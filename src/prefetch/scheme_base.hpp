@@ -1,0 +1,19 @@
+// BASE (Section 5): "prefetches a whole row at the first access to the
+// row". Every demand access that had to open a row copies that row into
+// the prefetch buffer and precharges the bank immediately. Consequence
+// (noted with Fig. 6): the bank is always precharged between uses, so BASE
+// has zero row-buffer conflicts — and the worst accuracy/energy, because
+// every miss moves a full 1 KB row.
+#pragma once
+
+#include "prefetch/scheme.hpp"
+
+namespace camps::prefetch {
+
+class BaseScheme final : public PrefetchScheme {
+ public:
+  PrefetchDecision on_demand_access(const AccessContext& ctx) override;
+  std::string name() const override { return "BASE"; }
+};
+
+}  // namespace camps::prefetch

@@ -1,0 +1,20 @@
+#include "prefetch/scheme_base_hit.hpp"
+
+namespace camps::prefetch {
+
+PrefetchDecision BaseHitScheme::on_demand_access(const AccessContext& ctx) {
+  const u32 hits_for_row = ctx.queued_same_row + 1;  // +1: this request
+  if (hits_for_row >= min_hits_) {
+    // Like BASE, the copy is the service mechanism: the triggering request
+    // and the queued same-row requests are satisfied out of the buffer
+    // once the row lands there. The bank keeps the open-page policy.
+    PrefetchDecision d;
+    d.fetch_row = true;
+    d.precharge_after = false;
+    d.serve_via_buffer = true;
+    return d;
+  }
+  return {};
+}
+
+}  // namespace camps::prefetch

@@ -1,0 +1,26 @@
+// BASE-HIT (Section 5): "prefetches a whole row if the row has two or more
+// hits based on the requests in the read queue". The row is copied when
+// the serviced request plus at least one more queued request target it;
+// the bank follows the normal open-page policy (no forced precharge), so
+// row-buffer conflicts still occur (Fig. 6 includes BASE-HIT).
+#pragma once
+
+#include "prefetch/scheme.hpp"
+
+namespace camps::prefetch {
+
+class BaseHitScheme final : public PrefetchScheme {
+ public:
+  /// `min_queued_hits`: queued requests (including the one being served)
+  /// that must target the row. The paper uses 2.
+  explicit BaseHitScheme(u32 min_queued_hits = 2)
+      : min_hits_(min_queued_hits) {}
+
+  PrefetchDecision on_demand_access(const AccessContext& ctx) override;
+  std::string name() const override { return "BASE-HIT"; }
+
+ private:
+  u32 min_hits_;
+};
+
+}  // namespace camps::prefetch

@@ -1,0 +1,71 @@
+#include "prefetch/scheme_camps.hpp"
+
+#include "common/assert.hpp"
+
+namespace camps::prefetch {
+
+CampsScheme::CampsScheme(const CampsParams& params)
+    : p_(params), rut_(params.banks), ct_(params.conflict_entries) {
+  CAMPS_ASSERT(p_.utilization_threshold >= 1);
+}
+
+PrefetchDecision CampsScheme::on_demand_access(const AccessContext& ctx) {
+  const BankRow id{ctx.bank, ctx.row};
+
+  if (ctx.outcome == dram::RowBufferOutcome::kHit) {
+    // Served from the open row. Profile it; past the threshold the row has
+    // proven its utilization and moves to the prefetch buffer.
+    // (A stale RUT entry for a different row — possible when a row was
+    // closed by refresh and another opened — is displaced into the CT
+    // first, mirroring the row-buffer replacement path.)
+    if (auto displaced = rut_.displace(ctx.bank, ctx.row)) {
+      ct_.insert(BankRow{ctx.bank, displaced->row});
+    }
+    const u32 count = rut_.touch(ctx.bank, ctx.row);
+    if (count >= p_.utilization_threshold) {
+      rut_.remove(ctx.bank);
+      ++threshold_prefetches_;
+      return PrefetchDecision{.fetch_row = true, .precharge_after = true, .extra_rows = {}};
+    }
+    return {};
+  }
+
+  // Row-buffer miss (empty or conflict): the controller activates ctx.row
+  // and serves the request. Whatever row the bank profiled before has just
+  // been displaced from the row buffer, so its profile moves into the CT
+  // regardless of what happens to the new row.
+  if (auto displaced = rut_.displace(ctx.bank, ctx.row)) {
+    ct_.insert(BankRow{ctx.bank, displaced->row});
+  }
+
+  if (ct_.remove(id)) {
+    // The row was displaced recently — it causes conflicts. Prefetch it
+    // and precharge; its CT entry is gone.
+    ++conflict_prefetches_;
+    PrefetchDecision d;
+    d.fetch_row = true;
+    d.precharge_after = true;
+    return d;
+  }
+
+  // Not a known conflict-causer: keep the row open and start profiling it.
+  const u32 count = rut_.touch(ctx.bank, ctx.row);
+  if (count >= p_.utilization_threshold) {
+    // Degenerate thresholds (<= 1) fire on the very first access; kept
+    // continuous so the threshold ablation sweeps cleanly into BASE-like
+    // behaviour.
+    rut_.remove(ctx.bank);
+    ++threshold_prefetches_;
+    PrefetchDecision d;
+    d.fetch_row = true;
+    d.precharge_after = true;
+    return d;
+  }
+  return {};
+}
+
+std::unique_ptr<ReplacementPolicy> CampsScheme::make_replacement() const {
+  return p_.modified_replacement ? make_utilization_recency() : make_lru();
+}
+
+}  // namespace camps::prefetch

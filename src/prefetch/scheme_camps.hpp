@@ -1,0 +1,68 @@
+// CAMPS and CAMPS-MOD (Sections 3.1 / 3.2) — the paper's contribution.
+//
+// Per-vault state: a Row Utilization Table (one entry per bank) and a
+// Conflict Table (32 entries, fully associative, LRU). Decision flow,
+// exactly as Figure 3 describes:
+//
+//   prefetch-buffer hit  -> served there; nothing to decide.
+//   row-buffer HIT       -> count the access in the RUT; once the count
+//                           reaches the threshold (4), fetch the whole row
+//                           to the buffer, drop the RUT entry, precharge.
+//   row-buffer MISS      -> the controller activates the row and serves the
+//   (empty or conflict)     request. If the row already has a CT entry it
+//                           is a proven conflict-causer: fetch it to the
+//                           buffer, remove the CT entry, precharge.
+//                           Otherwise keep the row open and (re)install it
+//                           in the RUT; the entry it displaces moves to
+//                           the CT.
+//
+// CAMPS pairs this with LRU buffer replacement; CAMPS-MOD swaps in the
+// utilization+recency policy of Section 3.2. Both variants share this
+// class — the only difference is make_replacement().
+#pragma once
+
+#include "prefetch/conflict_table.hpp"
+#include "prefetch/rut.hpp"
+#include "prefetch/scheme.hpp"
+
+namespace camps::prefetch {
+
+struct CampsParams {
+  u32 banks = 16;              ///< RUT entries per vault (Table I).
+  u32 conflict_entries = 32;   ///< CT entries per vault.
+  u32 utilization_threshold = 4;
+  /// CAMPS-MOD: use the utilization+recency buffer replacement.
+  bool modified_replacement = false;
+};
+
+class CampsScheme final : public PrefetchScheme {
+ public:
+  explicit CampsScheme(const CampsParams& params = {});
+
+  PrefetchDecision on_demand_access(const AccessContext& ctx) override;
+  std::string name() const override {
+    return p_.modified_replacement ? "CAMPS-MOD" : "CAMPS";
+  }
+  std::unique_ptr<ReplacementPolicy> make_replacement() const override;
+
+  // Introspection for tests and stats.
+  const RowUtilizationTable& rut() const { return rut_; }
+  const ConflictTable& conflict_table() const { return ct_; }
+  u64 threshold_prefetches() const { return threshold_prefetches_; }
+  u64 conflict_prefetches() const { return conflict_prefetches_; }
+
+  /// Hardware overhead of the profiling tables in bits (paper Section 3.3:
+  /// 16x20 + 32x20 bits per vault = 120 bytes/vault, 3.75 KB per device).
+  u64 overhead_bits() const {
+    return rut_.overhead_bits() + ct_.overhead_bits();
+  }
+
+ private:
+  CampsParams p_;
+  RowUtilizationTable rut_;
+  ConflictTable ct_;
+  u64 threshold_prefetches_ = 0;
+  u64 conflict_prefetches_ = 0;
+};
+
+}  // namespace camps::prefetch

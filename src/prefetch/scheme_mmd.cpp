@@ -1,0 +1,54 @@
+#include "prefetch/scheme_mmd.hpp"
+
+#include "common/assert.hpp"
+
+namespace camps::prefetch {
+
+MmdScheme::MmdScheme(const MmdParams& params)
+    : p_(params), degree_(params.initial_degree) {
+  CAMPS_ASSERT(p_.max_degree >= 1);
+  CAMPS_ASSERT(p_.initial_degree <= p_.max_degree);
+  CAMPS_ASSERT(p_.epoch_evictions >= 1);
+  CAMPS_ASSERT(p_.lower_threshold <= p_.raise_threshold);
+}
+
+PrefetchDecision MmdScheme::on_demand_access(const AccessContext& ctx) {
+  if (ctx.outcome == dram::RowBufferOutcome::kHit) return {};
+
+  if (degree_ == 0) {
+    // Off: probe again after enough demand misses so feedback can resume.
+    if (++misses_at_zero_ >= p_.probe_interval) {
+      misses_at_zero_ = 0;
+      degree_ = 1;
+    } else {
+      return {};
+    }
+  }
+
+  PrefetchDecision d;
+  d.fetch_row = true;
+  d.precharge_after = false;  // open-page policy; scheduler decides later
+  for (u32 i = 1; i < degree_; ++i) {
+    d.extra_rows.push_back(ctx.row + i);
+  }
+  return d;
+}
+
+void MmdScheme::on_prefetch_evicted(BankRow /*row*/, bool was_used) {
+  ++epoch_total_;
+  if (was_used) ++epoch_used_;
+  if (epoch_total_ < p_.epoch_evictions) return;
+
+  const double usefulness =
+      static_cast<double>(epoch_used_) / static_cast<double>(epoch_total_);
+  if (usefulness > p_.raise_threshold && degree_ < p_.max_degree) {
+    ++degree_;
+  } else if (usefulness < p_.lower_threshold && degree_ > 0) {
+    --degree_;
+    misses_at_zero_ = 0;
+  }
+  epoch_total_ = epoch_used_ = 0;
+  ++epochs_;
+}
+
+}  // namespace camps::prefetch

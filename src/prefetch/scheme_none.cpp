@@ -1,0 +1,10 @@
+#include "prefetch/scheme_none.hpp"
+
+namespace camps::prefetch {
+
+PrefetchDecision NoPrefetchScheme::on_demand_access(
+    const AccessContext& /*ctx*/) {
+  return {};
+}
+
+}  // namespace camps::prefetch

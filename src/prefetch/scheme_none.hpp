@@ -1,0 +1,16 @@
+// No-prefetching scheme: a pure open-page baseline. Not part of the
+// paper's comparison but invaluable for tests and ablations (it isolates
+// the DRAM substrate from all prefetching effects).
+#pragma once
+
+#include "prefetch/scheme.hpp"
+
+namespace camps::prefetch {
+
+class NoPrefetchScheme final : public PrefetchScheme {
+ public:
+  PrefetchDecision on_demand_access(const AccessContext& ctx) override;
+  std::string name() const override { return "NONE"; }
+};
+
+}  // namespace camps::prefetch

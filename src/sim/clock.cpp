@@ -1,0 +1,13 @@
+// clock.hpp is header-only; this file exists so the camps_sim target always
+// has at least one translation unit exercising the header under the
+// project's warning flags.
+#include "sim/clock.hpp"
+
+namespace camps::sim {
+
+static_assert(kCpuTicksPerCycle * 3 == kTicksPerNs,      // 3 GHz
+              "CPU clock must be exactly 3 GHz in the tick quantum");
+static_assert(kDramTicksPerCycle * 4 == kTicksPerNs * 5, // 800 MHz
+              "DRAM clock must be exactly 800 MHz in the tick quantum");
+
+}  // namespace camps::sim

@@ -1,0 +1,64 @@
+// Clock-domain arithmetic.
+//
+// Global simulation time (Tick) is an integer count of 1/24-ns quanta. That
+// quantum is the largest one in which both clocks of Table I are integral:
+//
+//   CPU   3 GHz      -> period 1/3 ns  =  8 ticks
+//   DRAM  800 MHz    -> period 5/4 ns  = 30 ticks   (DDR3-1600 command clock)
+//
+// Using an integral quantum keeps every cross-domain conversion exact, so
+// simulations are deterministic and phase relationships never drift.
+// Serial-link serialization times (12.5 Gbps lanes) are not integral in this
+// quantum; the link model rounds each packet's serialization latency up to
+// whole ticks, which under-reports link bandwidth by < 3% worst case and is
+// documented in hmc/serial_link.hpp.
+#pragma once
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace camps::sim {
+
+/// Simulation quanta per nanosecond.
+inline constexpr u64 kTicksPerNs = 24;
+
+/// CPU clock: 3 GHz.
+inline constexpr u64 kCpuTicksPerCycle = 8;
+
+/// DRAM command clock: 800 MHz (DDR3-1600).
+inline constexpr u64 kDramTicksPerCycle = 30;
+
+/// A fixed-frequency clock domain anchored at tick 0.
+class ClockDomain {
+ public:
+  explicit ClockDomain(u64 ticks_per_cycle) : ticks_per_cycle_(ticks_per_cycle) {
+    CAMPS_ASSERT(ticks_per_cycle > 0);
+  }
+
+  u64 ticks_per_cycle() const { return ticks_per_cycle_; }
+
+  /// Duration of `cycles` cycles, in ticks.
+  Tick to_ticks(u64 cycles) const { return cycles * ticks_per_cycle_; }
+
+  /// Number of *complete* cycles elapsed at `tick`.
+  u64 to_cycles(Tick tick) const { return tick / ticks_per_cycle_; }
+
+  /// The first clock edge at or after `tick`.
+  Tick next_edge(Tick tick) const {
+    const Tick rem = tick % ticks_per_cycle_;
+    return rem == 0 ? tick : tick + (ticks_per_cycle_ - rem);
+  }
+
+  /// The first edge strictly after `tick`.
+  Tick edge_after(Tick tick) const {
+    return next_edge(tick + 1);
+  }
+
+ private:
+  u64 ticks_per_cycle_;
+};
+
+inline ClockDomain cpu_clock() { return ClockDomain(kCpuTicksPerCycle); }
+inline ClockDomain dram_clock() { return ClockDomain(kDramTicksPerCycle); }
+
+}  // namespace camps::sim

@@ -1,0 +1,29 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace camps::sim {
+
+void EventQueue::schedule(Tick when, EventFn fn) {
+  heap_.push_back(Entry{when, next_seq_++, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+Tick EventQueue::next_time() const {
+  CAMPS_ASSERT(!heap_.empty());
+  return heap_.front().when;
+}
+
+std::pair<Tick, EventFn> EventQueue::pop() {
+  CAMPS_ASSERT(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  return {e.when, std::move(e.fn)};
+}
+
+void EventQueue::clear() { heap_.clear(); }
+
+}  // namespace camps::sim

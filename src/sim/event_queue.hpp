@@ -1,0 +1,55 @@
+// Discrete-event priority queue.
+//
+// Events at equal ticks execute in insertion order (a monotone sequence
+// number breaks heap ties), which makes whole-system runs bit-for-bit
+// deterministic regardless of heap internals.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace camps::sim {
+
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  /// Schedules `fn` to run at absolute time `when`. `when` must not precede
+  /// the time of the most recently popped event.
+  void schedule(Tick when, EventFn fn);
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event. Requires !empty().
+  Tick next_time() const;
+
+  /// Pops and returns the earliest event. Requires !empty().
+  std::pair<Tick, EventFn> pop();
+
+  /// Total events ever scheduled (for stats / tests).
+  u64 scheduled_count() const { return next_seq_; }
+
+  void clear();
+
+ private:
+  struct Entry {
+    Tick when;
+    u64 seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::vector<Entry> heap_;
+  u64 next_seq_ = 0;
+};
+
+}  // namespace camps::sim

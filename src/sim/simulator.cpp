@@ -1,0 +1,50 @@
+#include "sim/simulator.hpp"
+
+#include "common/assert.hpp"
+
+namespace camps::sim {
+
+void Simulator::schedule(Tick delay, EventFn fn) {
+  queue_.schedule(now_ + delay, std::move(fn));
+}
+
+void Simulator::schedule_at(Tick when, EventFn fn) {
+  CAMPS_ASSERT_MSG(when >= now_, "cannot schedule into the past");
+  queue_.schedule(when, std::move(fn));
+}
+
+u64 Simulator::run() {
+  u64 n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+u64 Simulator::run_until(Tick deadline) {
+  u64 n = 0;
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    step();
+    ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+bool Simulator::run_while_pending(const std::function<bool()>& pred) {
+  while (!queue_.empty()) {
+    step();
+    if (pred()) return true;
+  }
+  return pred();
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto [when, fn] = queue_.pop();
+  CAMPS_ASSERT(when >= now_);
+  now_ = when;
+  ++executed_;
+  fn();
+  return true;
+}
+
+}  // namespace camps::sim

@@ -1,0 +1,44 @@
+// The simulation executive: owns the event queue and the notion of "now".
+//
+// Components capture `Simulator&` and call schedule()/schedule_at(); the
+// system driver calls run() variants. Time only moves forward.
+#pragma once
+
+#include "sim/event_queue.hpp"
+
+namespace camps::sim {
+
+class Simulator {
+ public:
+  Tick now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` ticks from now.
+  void schedule(Tick delay, EventFn fn);
+
+  /// Schedules `fn` at absolute tick `when`; must be >= now().
+  void schedule_at(Tick when, EventFn fn);
+
+  /// Runs until the queue drains. Returns the number of events executed.
+  u64 run();
+
+  /// Runs events with time <= `deadline`; afterwards now() == deadline if
+  /// the queue drained or the next event lies beyond it.
+  u64 run_until(Tick deadline);
+
+  /// Runs until `pred()` becomes true (checked after every event) or the
+  /// queue drains. Returns true if the predicate fired.
+  bool run_while_pending(const std::function<bool()>& pred);
+
+  /// Executes exactly one event, if any. Returns false if queue was empty.
+  bool step();
+
+  u64 events_executed() const { return executed_; }
+  EventQueue& queue() { return queue_; }
+
+ private:
+  EventQueue queue_;
+  Tick now_ = 0;
+  u64 executed_ = 0;
+};
+
+}  // namespace camps::sim

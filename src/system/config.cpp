@@ -1,0 +1,78 @@
+#include "system/config.hpp"
+
+namespace camps::system {
+
+trace::PatternGeometry SystemConfig::pattern_geometry() const {
+  const hmc::AddressMap map(hmc.geometry, hmc.field_order);
+  trace::PatternGeometry g;
+  g.line_bytes = hmc.geometry.line_bytes;
+  g.row_bytes = hmc.geometry.row_bytes;
+  g.same_bank_row_stride = map.same_bank_row_stride();
+  return g;
+}
+
+u64 SystemConfig::core_slice_bytes() const {
+  return hmc.geometry.capacity_bytes() / cores;
+}
+
+SystemConfig table1_config(prefetch::SchemeKind scheme) {
+  SystemConfig cfg;
+  cfg.scheme = scheme;
+  return cfg;  // every member default already encodes Table I
+}
+
+SystemConfig hmc_gen1_config(prefetch::SchemeKind scheme) {
+  SystemConfig cfg = table1_config(scheme);
+  cfg.hmc.geometry.vaults = 16;
+  cfg.hmc.geometry.banks_per_vault = 8;
+  cfg.hmc.vault.banks = 8;
+  cfg.hmc.geometry.rows_per_bank = 16384;  // 2 GB cube
+  cfg.hmc.link.gbps_per_lane = 10.0;
+  return cfg;
+}
+
+SystemConfig apply_overrides(SystemConfig base, const ConfigFile& cfg) {
+  base.cores = static_cast<u32>(cfg.get_uint("cores", base.cores));
+  base.seed = cfg.get_uint("seed", base.seed);
+  base.max_cycles = cfg.get_uint("max_cycles", base.max_cycles);
+
+  base.core.issue_width = static_cast<u32>(
+      cfg.get_uint("core.issue_width", base.core.issue_width));
+  base.core.max_outstanding_loads = static_cast<u32>(
+      cfg.get_uint("core.max_outstanding", base.core.max_outstanding_loads));
+  base.core.warmup_instructions =
+      cfg.get_uint("core.warmup", base.core.warmup_instructions);
+  base.core.measure_instructions =
+      cfg.get_uint("core.measure", base.core.measure_instructions);
+
+  base.hmc.geometry.vaults =
+      static_cast<u32>(cfg.get_uint("hmc.vaults", base.hmc.geometry.vaults));
+  base.hmc.geometry.banks_per_vault = static_cast<u32>(
+      cfg.get_uint("hmc.banks", base.hmc.geometry.banks_per_vault));
+  base.hmc.vault.banks = base.hmc.geometry.banks_per_vault;
+  base.hmc.num_links =
+      static_cast<u32>(cfg.get_uint("hmc.links", base.hmc.num_links));
+  base.hmc.geometry.rows_per_bank =
+      cfg.get_uint("hmc.rows_per_bank", base.hmc.geometry.rows_per_bank);
+
+  base.hmc.vault.buffer.entries = static_cast<u32>(
+      cfg.get_uint("buffer.entries", base.hmc.vault.buffer.entries));
+  base.hmc.vault.buffer.hit_latency =
+      cfg.get_uint("buffer.hit_latency", base.hmc.vault.buffer.hit_latency);
+
+  base.scheme_params.camps.utilization_threshold = static_cast<u32>(
+      cfg.get_uint("camps.threshold",
+                   base.scheme_params.camps.utilization_threshold));
+  base.scheme_params.camps.conflict_entries = static_cast<u32>(
+      cfg.get_uint("camps.conflict_entries",
+                   base.scheme_params.camps.conflict_entries));
+  base.scheme_params.mmd.max_degree = static_cast<u32>(
+      cfg.get_uint("mmd.max_degree", base.scheme_params.mmd.max_degree));
+
+  if (cfg.has("scheme")) {
+    base.scheme = prefetch::scheme_from_string(cfg.get_string("scheme"));
+  }
+  return base;
+}
+
+}  // namespace camps::system

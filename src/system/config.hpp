@@ -1,0 +1,54 @@
+// Whole-system configuration (Table I) and config-file overrides.
+#pragma once
+
+#include "cache/hierarchy.hpp"
+#include "common/config_file.hpp"
+#include "cpu/core.hpp"
+#include "hmc/hmc_device.hpp"
+#include "prefetch/factory.hpp"
+#include "trace/patterns.hpp"
+
+namespace camps::system {
+
+struct SystemConfig {
+  u32 cores = 8;
+  cpu::CoreConfig core;              ///< 4-wide, 8 outstanding loads.
+  cache::HierarchyConfig caches;     ///< 32K/256K/16M per Table I.
+  hmc::HmcConfig hmc;                ///< 32 vaults, 16 banks, DDR3-1600.
+  prefetch::SchemeKind scheme = prefetch::SchemeKind::kCampsMod;
+  prefetch::SchemeParams scheme_params;
+  u64 seed = 1;                      ///< Workload generation seed.
+  /// Hard wall-clock bound for one run, in simulated CPU cycles; a run
+  /// that hasn't finished its measurement window by then stops and reports
+  /// partial=true (prevents hangs on mis-tuned configurations).
+  u64 max_cycles = 400'000'000;
+
+  /// Pattern geometry consistent with the HMC address map, for workload
+  /// construction.
+  trace::PatternGeometry pattern_geometry() const;
+
+  /// Per-core physical address slice in bytes (cube capacity / cores).
+  u64 core_slice_bytes() const;
+};
+
+/// Table I defaults with the given scheme.
+SystemConfig table1_config(
+    prefetch::SchemeKind scheme = prefetch::SchemeKind::kCampsMod);
+
+/// First-generation HMC (HMC 1.0-era): 16 vaults x 8 banks, 4 x 10 Gbps
+/// links, 2 GB cube. Useful for studying how CAMPS's benefit scales with
+/// vault-level parallelism (extension; the paper models gen2).
+SystemConfig hmc_gen1_config(
+    prefetch::SchemeKind scheme = prefetch::SchemeKind::kCampsMod);
+
+/// Applies `key = value` overrides; recognized keys (all optional):
+///   cores, seed, max_cycles,
+///   core.issue_width, core.max_outstanding, core.warmup, core.measure,
+///   hmc.vaults, hmc.banks, hmc.links, hmc.rows_per_bank,
+///   buffer.entries, buffer.hit_latency,
+///   camps.threshold, camps.conflict_entries, mmd.max_degree,
+///   scheme (NONE|BASE|BASE-HIT|MMD|CAMPS|CAMPS-MOD)
+/// Throws std::runtime_error for malformed values.
+SystemConfig apply_overrides(SystemConfig base, const ConfigFile& cfg);
+
+}  // namespace camps::system

@@ -1,0 +1,41 @@
+#include "system/results.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace camps::system {
+
+double geometric_mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : values) {
+    if (v <= 0.0) return 0.0;
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+std::string RunResults::summary() const {
+  std::ostringstream out;
+  out << "scheme           : " << scheme << (partial ? "  [PARTIAL]" : "")
+      << '\n';
+  out << "geomean IPC      : " << geomean_ipc << '\n';
+  out << "AMAT (cycles)    : " << amat_cycles << '\n';
+  out << "mem lat (cycles) : " << mem_latency_cycles << '\n';
+  out << "L3 MPKI          : " << mpki << '\n';
+  out << "row hit/empty/conf: " << row_hits << " / " << row_empties << " / "
+      << row_conflicts << "  (conflict rate " << row_conflict_rate * 100.0
+      << "%)\n";
+  out << "prefetches       : " << prefetches << "  accuracy "
+      << prefetch_accuracy * 100.0 << "%\n";
+  out << "buffer hit rate  : " << buffer_hit_rate * 100.0 << "%  (" << buffer_hits
+      << " hits)\n";
+  out << "memory rd/wr     : " << memory_reads << " / " << memory_writes
+      << '\n';
+  out << "HMC energy (uJ)  : " << energy_pj / 1e6 << '\n';
+  out << "link util dn/up  : " << link_down_utilization * 100.0 << "% / "
+      << link_up_utilization * 100.0 << "%\n";
+  return out.str();
+}
+
+}  // namespace camps::system

@@ -1,0 +1,68 @@
+// Results of one full-system run: the quantities every figure of the paper
+// is built from.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace camps::system {
+
+struct CoreResult {
+  double ipc = 0.0;          ///< Measured-window IPC.
+  u64 instructions = 0;      ///< Instructions inside the window.
+  u64 loads = 0;
+  u64 stores = 0;
+  u64 stall_cycles = 0;
+};
+
+struct RunResults {
+  std::string scheme;
+  std::vector<CoreResult> cores;
+
+  /// Geometric mean of per-core IPCs (the paper's Fig. 5 metric).
+  double geomean_ipc = 0.0;
+
+  /// Average memory access time seen by loads, in CPU cycles (Fig. 8).
+  double amat_cycles = 0.0;
+  /// Mean main-memory (HMC round-trip) latency, CPU cycles.
+  double mem_latency_cycles = 0.0;
+
+  // Row-buffer behaviour at the banks (Fig. 6).
+  u64 row_hits = 0;
+  u64 row_empties = 0;
+  u64 row_conflicts = 0;
+  double row_conflict_rate = 0.0;  ///< conflicts / all bank accesses.
+
+  // Prefetching (Fig. 7).
+  u64 prefetches = 0;
+  double prefetch_accuracy = 0.0;  ///< useful rows / prefetched rows.
+  u64 buffer_hits = 0;
+  u64 buffer_misses = 0;
+  double buffer_hit_rate = 0.0;
+
+  // Energy (Fig. 9).
+  double energy_pj = 0.0;
+
+  // Serial-link utilization over the measurement window (0..1 per
+  // direction, averaged over the links).
+  double link_down_utilization = 0.0;
+  double link_up_utilization = 0.0;
+
+  // Workload character.
+  double mpki = 0.0;  ///< L3 misses per kilo-instruction, whole workload.
+  u64 memory_reads = 0;
+  u64 memory_writes = 0;
+
+  Tick measure_span_ticks = 0;
+  bool partial = false;  ///< True if the run hit the max_cycles bound.
+
+  /// Multi-line human-readable summary.
+  std::string summary() const;
+};
+
+/// Geometric mean helper (0 if any element is <= 0 or the vector is empty).
+double geometric_mean(const std::vector<double>& values);
+
+}  // namespace camps::system

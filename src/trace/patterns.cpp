@@ -1,0 +1,258 @@
+#include "trace/patterns.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace camps::trace {
+
+PatternBase::PatternBase(const PatternParams& params,
+                         const PatternGeometry& geom)
+    : p_(params), g_(geom), rng_(params.seed) {
+  CAMPS_ASSERT(p_.region_bytes >= g_.row_bytes);
+  CAMPS_ASSERT(g_.line_bytes > 0 && g_.row_bytes % g_.line_bytes == 0);
+  // Keep the math simple: regions are whole numbers of rows.
+  p_.region_bytes -= p_.region_bytes % g_.row_bytes;
+  p_.base -= p_.base % g_.line_bytes;
+}
+
+void PatternBase::reset() {
+  rng_ = Rng(p_.seed);
+  on_reset();
+}
+
+TraceRecord PatternBase::make(Addr addr) {
+  TraceRecord r;
+  // gap >= 0; geometric around the mean keeps bursts realistic.
+  r.gap = p_.mean_gap <= 0.0
+              ? 0
+              : static_cast<u32>(
+                    std::min<u64>(rng_.next_geometric(p_.mean_gap + 1.0) - 1,
+                                  1u << 20));
+  r.addr = addr - addr % g_.line_bytes;
+  r.type = rng_.next_bool(p_.write_ratio) ? AccessType::kWrite
+                                          : AccessType::kRead;
+  return r;
+}
+
+Addr PatternBase::clamp_to_region(Addr addr) const {
+  if (addr < p_.base) return p_.base;
+  const Addr end = p_.base + p_.region_bytes;
+  if (addr >= end) return p_.base + (addr - p_.base) % p_.region_bytes;
+  return addr;
+}
+
+// ---------------------------------------------------------------- sequential
+
+SequentialStream::SequentialStream(const PatternParams& params,
+                                   const PatternGeometry& geom,
+                                   double mean_run_lines)
+    : PatternBase(params, geom), mean_run_(std::max(1.0, mean_run_lines)) {
+  on_reset();
+}
+
+void SequentialStream::on_reset() {
+  cursor_ = p_.base;
+  run_left_ = 0;
+}
+
+std::optional<TraceRecord> SequentialStream::next() {
+  if (run_left_ == 0) {
+    run_left_ = rng_.next_geometric(mean_run_);
+    const u64 lines_in_region = p_.region_bytes / g_.line_bytes;
+    cursor_ = p_.base + rng_.next_below(lines_in_region) * g_.line_bytes;
+  }
+  const TraceRecord r = make(cursor_);
+  cursor_ = clamp_to_region(cursor_ + g_.line_bytes);
+  --run_left_;
+  return r;
+}
+
+// ------------------------------------------------------------------ hot rows
+
+HotRowPattern::HotRowPattern(const PatternParams& params,
+                             const PatternGeometry& geom, u32 hot_rows,
+                             double mean_reuse, double cold_ratio,
+                             u32 active_lines)
+    : PatternBase(params, geom),
+      hot_rows_(std::max<u32>(1, hot_rows)),
+      mean_reuse_(std::max(1.0, mean_reuse)),
+      cold_ratio_(cold_ratio),
+      active_lines_(active_lines) {
+  on_reset();
+}
+
+void HotRowPattern::assign_lines(u32 slot) {
+  const u32 lines = static_cast<u32>(g_.lines_per_row());
+  const u32 count = active_lines_ == 0 ? lines
+                                       : std::min(active_lines_, lines);
+  // Partial Fisher-Yates draw of `count` distinct lines.
+  std::vector<u32> all(lines);
+  for (u32 i = 0; i < lines; ++i) all[i] = i;
+  for (u32 i = 0; i < count; ++i) {
+    const u64 j = i + rng_.next_below(lines - i);
+    std::swap(all[i], all[j]);
+  }
+  all.resize(count);
+  row_lines_[slot] = std::move(all);
+}
+
+void HotRowPattern::on_reset() {
+  row_bases_.assign(hot_rows_, 0);
+  row_lines_.assign(hot_rows_, {});
+  const u64 rows_in_region = p_.region_bytes / g_.row_bytes;
+  for (u32 slot = 0; slot < hot_rows_; ++slot) {
+    row_bases_[slot] = p_.base + rng_.next_below(rows_in_region) * g_.row_bytes;
+    assign_lines(slot);
+  }
+  current_ = 0;
+  reuse_left_ = 0;
+}
+
+void HotRowPattern::pick_new_row() {
+  current_ = static_cast<u32>(rng_.next_below(hot_rows_));
+  reuse_left_ = rng_.next_geometric(mean_reuse_);
+  // Hot sets slowly rotate so the workload is not a fixed 32-row loop.
+  if (rng_.next_bool(0.02)) {
+    const u64 rows_in_region = p_.region_bytes / g_.row_bytes;
+    row_bases_[current_] =
+        p_.base + rng_.next_below(rows_in_region) * g_.row_bytes;
+    assign_lines(current_);
+  }
+}
+
+std::optional<TraceRecord> HotRowPattern::next() {
+  if (rng_.next_bool(cold_ratio_)) {
+    const u64 lines_in_region = p_.region_bytes / g_.line_bytes;
+    return make(p_.base + rng_.next_below(lines_in_region) * g_.line_bytes);
+  }
+  if (reuse_left_ == 0) pick_new_row();
+  --reuse_left_;
+  const auto& lines = row_lines_[current_];
+  const u32 line = lines[rng_.next_below(lines.size())];
+  return make(row_bases_[current_] + u64{line} * g_.line_bytes);
+}
+
+// ----------------------------------------------------------- conflict streams
+
+ConflictStreams::ConflictStreams(const PatternParams& params,
+                                 const PatternGeometry& geom, u32 streams,
+                                 u32 accesses_per_row, u32 banks_covered,
+                                 u32 burst_length)
+    : PatternBase(params, geom),
+      streams_(std::max<u32>(2, streams)),
+      per_row_(std::max<u32>(1, accesses_per_row)),
+      banks_covered_(std::max<u32>(1, banks_covered)),
+      burst_(std::max<u32>(1, burst_length)) {
+  on_reset();
+}
+
+void ConflictStreams::on_reset() {
+  walkers_.assign(static_cast<size_t>(streams_) * banks_covered_, Walker{});
+  // Bank lane b gets `streams_` walkers, offset from each other by whole
+  // same-bank row strides so they collide in the row buffer; different
+  // lanes are reached by row_bytes offsets (distinct bank/vault bits under
+  // the default mapping). A per-instance random lane offset decorrelates
+  // multiple instances (cores) so they do not all punish the same banks.
+  const Addr lane_offset =
+      rng_.next_below(p_.region_bytes / g_.row_bytes) * g_.row_bytes;
+  for (u32 b = 0; b < banks_covered_; ++b) {
+    for (u32 s = 0; s < streams_; ++s) {
+      auto& w = walkers_[static_cast<size_t>(b) * streams_ + s];
+      const Addr raw = lane_offset + static_cast<Addr>(b) * g_.row_bytes +
+                       static_cast<Addr>(s) * g_.same_bank_row_stride;
+      w.row_base = p_.base + raw % p_.region_bytes;
+      w.line = 0;
+      w.left = per_row_;
+    }
+  }
+  turn_ = 0;
+  burst_left_ = 0;
+}
+
+std::optional<TraceRecord> ConflictStreams::next() {
+  // Round-robin across walkers, each issuing a short spatial burst per
+  // turn: turn boundaries land in the same bank but a different row — a
+  // guaranteed conflict unless prefetched.
+  if (burst_left_ == 0) {
+    turn_ = static_cast<u32>((turn_ + 1) % walkers_.size());
+    burst_left_ = burst_;
+  }
+  --burst_left_;
+  auto& w = walkers_[turn_];
+
+  const Addr addr = w.row_base + static_cast<Addr>(w.line) * g_.line_bytes;
+  w.line = static_cast<u32>((w.line + 1) % g_.lines_per_row());
+  if (--w.left == 0) {
+    w.left = per_row_;
+    // Advance by `streams_` same-bank rows so walkers never merge.
+    Addr next_base =
+        w.row_base + static_cast<Addr>(streams_) * g_.same_bank_row_stride;
+    if (next_base >= p_.base + p_.region_bytes) {
+      next_base = p_.base + (next_base - p_.base) % p_.region_bytes;
+      // Keep the row aligned to the walker's bank lane.
+      next_base -= (next_base - p_.base) % g_.row_bytes;
+    }
+    w.row_base = next_base;
+    w.line = 0;
+    burst_left_ = 0;  // a new row starts on a fresh turn
+  }
+  return make(addr);
+}
+
+// ------------------------------------------------------------------- strided
+
+StridedPattern::StridedPattern(const PatternParams& params,
+                               const PatternGeometry& geom, u64 stride_bytes)
+    : PatternBase(params, geom), stride_(std::max<u64>(geom.line_bytes, stride_bytes)) {
+  on_reset();
+}
+
+void StridedPattern::on_reset() { cursor_ = p_.base; }
+
+std::optional<TraceRecord> StridedPattern::next() {
+  const TraceRecord r = make(cursor_);
+  cursor_ = clamp_to_region(cursor_ + stride_);
+  return r;
+}
+
+// -------------------------------------------------------------------- random
+
+RandomPattern::RandomPattern(const PatternParams& params,
+                             const PatternGeometry& geom)
+    : PatternBase(params, geom) {}
+
+std::optional<TraceRecord> RandomPattern::next() {
+  const u64 lines_in_region = p_.region_bytes / g_.line_bytes;
+  return make(p_.base + rng_.next_below(lines_in_region) * g_.line_bytes);
+}
+
+// ------------------------------------------------------------------- mixture
+
+MixturePattern::MixturePattern(std::vector<Component> components, u64 seed)
+    : components_(std::move(components)), rng_(seed), seed_(seed) {
+  CAMPS_ASSERT(!components_.empty());
+  double total = 0.0;
+  for (const auto& c : components_) {
+    CAMPS_ASSERT(c.weight > 0.0);
+    CAMPS_ASSERT(c.source != nullptr);
+    total += c.weight;
+    cumulative_.push_back(total);
+  }
+  for (auto& c : cumulative_) c /= total;
+  cumulative_.back() = 1.0;  // guard against rounding
+}
+
+std::optional<TraceRecord> MixturePattern::next() {
+  const double u = rng_.next_double();
+  const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  const size_t idx = static_cast<size_t>(it - cumulative_.begin());
+  return components_[std::min(idx, components_.size() - 1)].source->next();
+}
+
+void MixturePattern::reset() {
+  rng_ = Rng(seed_);
+  for (auto& c : components_) c.source->reset();
+}
+
+}  // namespace camps::trace

@@ -1,0 +1,184 @@
+// Composable synthetic access-pattern generators.
+//
+// These substitute for SPEC CPU2006 traces (see DESIGN.md §2). Each pattern
+// is an infinite TraceSource driven by a deterministic Rng; what matters for
+// CAMPS is the *row-level* structure the patterns expose:
+//
+//   SequentialStream  — spatial runs inside rows (high row utilization)
+//   HotRowPattern     — revisited rows (RUT-threshold candidates)
+//   ConflictStreams   — interleaved walkers in the SAME bank, different rows
+//                       (the row-buffer ping-pong the Conflict Table targets)
+//   StridedPattern    — regular strides, possibly row-crossing
+//   RandomPattern     — uniform lines in a region (pointer-chase proxy)
+//   MixturePattern    — weighted blend of the above
+//
+// Addresses are virtual within [base, base + region_bytes); the system
+// layer gives each core a disjoint address-space slice.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "trace/trace.hpp"
+
+namespace camps::trace {
+
+/// Geometry facts a generator needs to create bank-conscious patterns.
+struct PatternGeometry {
+  u64 line_bytes = 64;
+  u64 row_bytes = 1024;
+  /// Address delta that moves to the next row of the *same* bank and vault
+  /// under the active address mapping (2^19 for the default RoRaBaVaCo map:
+  /// 64 B line x 16 columns x 32 vaults x 16 banks).
+  u64 same_bank_row_stride = u64{1} << 19;
+
+  u64 lines_per_row() const { return row_bytes / line_bytes; }
+};
+
+/// Knobs shared by every pattern.
+struct PatternParams {
+  Addr base = 0;            ///< Region start (line-aligned).
+  u64 region_bytes = u64{1} << 26;  ///< Working-set size.
+  double mean_gap = 2.0;    ///< Mean non-memory instructions per access.
+  double write_ratio = 0.2; ///< Probability an access is a write.
+  u64 seed = 1;
+};
+
+/// Base class: owns the Rng and fabricates records from addresses.
+class PatternBase : public TraceSource {
+ public:
+  PatternBase(const PatternParams& params, const PatternGeometry& geom);
+  void reset() override;
+
+ protected:
+  /// Builds a record at `addr` with a freshly drawn gap and access type.
+  TraceRecord make(Addr addr);
+  Addr clamp_to_region(Addr addr) const;
+
+  PatternParams p_;
+  PatternGeometry g_;
+  Rng rng_;
+
+ private:
+  virtual void on_reset() {}
+};
+
+/// Walks lines sequentially; after a geometric run, jumps to a random
+/// line-aligned position. Long runs -> whole rows consumed in order.
+class SequentialStream final : public PatternBase {
+ public:
+  SequentialStream(const PatternParams& params, const PatternGeometry& geom,
+                   double mean_run_lines = 64.0);
+  std::optional<TraceRecord> next() override;
+
+ private:
+  void on_reset() override;
+  double mean_run_;
+  Addr cursor_ = 0;
+  u64 run_left_ = 0;
+};
+
+/// Maintains `hot_rows` favourite rows; performs `mean_reuse` random-line
+/// accesses within the current hot row, then hops to another hot row.
+/// Occasionally (cold_ratio) touches a cold random line instead.
+///
+/// `active_lines` restricts each hot row to a fixed random subset of its
+/// lines (0 = all lines): real hot structures occupy part of a DRAM row,
+/// so the row is re-referenced indefinitely without ever having all
+/// distinct lines touched — the case Section 3.2's full-utilization
+/// eviction must NOT fire on.
+class HotRowPattern final : public PatternBase {
+ public:
+  HotRowPattern(const PatternParams& params, const PatternGeometry& geom,
+                u32 hot_rows = 32, double mean_reuse = 8.0,
+                double cold_ratio = 0.1, u32 active_lines = 0);
+  std::optional<TraceRecord> next() override;
+
+ private:
+  void on_reset() override;
+  void pick_new_row();
+  void assign_lines(u32 slot);
+  u32 hot_rows_;
+  double mean_reuse_;
+  double cold_ratio_;
+  u32 active_lines_;
+  std::vector<Addr> row_bases_;
+  std::vector<std::vector<u32>> row_lines_;  ///< Allowed lines per hot row.
+  u32 current_ = 0;
+  u64 reuse_left_ = 0;
+};
+
+/// `streams` interleaved walkers pinned to the same bank: walker k starts
+/// at base + k * same_bank_row_stride and advances by `streams` rows after
+/// consuming `accesses_per_row` lines, so every switch between walkers is a
+/// row-buffer conflict in that bank. `banks_covered` replicates the setup
+/// across several banks to spread load.
+class ConflictStreams final : public PatternBase {
+ public:
+  /// `burst_length`: consecutive accesses a walker issues per turn before
+  /// yielding (spatial burst). Visits per row = accesses_per_row /
+  /// burst_length; each visit boundary is a row-buffer conflict, while the
+  /// burst's tail gives a prefetched row immediate usefulness — the
+  /// spatial-plus-conflicting structure real interleaved streams have.
+  ConflictStreams(const PatternParams& params, const PatternGeometry& geom,
+                  u32 streams = 4, u32 accesses_per_row = 4,
+                  u32 banks_covered = 8, u32 burst_length = 1);
+  std::optional<TraceRecord> next() override;
+
+ private:
+  void on_reset() override;
+  struct Walker {
+    Addr row_base = 0;
+    u32 line = 0;
+    u32 left = 0;
+  };
+  u32 streams_;
+  u32 per_row_;
+  u32 banks_covered_;
+  u32 burst_;
+  std::vector<Walker> walkers_;
+  u32 turn_ = 0;
+  u32 burst_left_ = 0;
+};
+
+/// Fixed-stride walker (e.g. column scans). Strides >= row_bytes touch one
+/// line per row — worst case for row-granularity prefetching.
+class StridedPattern final : public PatternBase {
+ public:
+  StridedPattern(const PatternParams& params, const PatternGeometry& geom,
+                 u64 stride_bytes);
+  std::optional<TraceRecord> next() override;
+
+ private:
+  void on_reset() override;
+  u64 stride_;
+  Addr cursor_ = 0;
+};
+
+/// Uniform random line in the region every access.
+class RandomPattern final : public PatternBase {
+ public:
+  RandomPattern(const PatternParams& params, const PatternGeometry& geom);
+  std::optional<TraceRecord> next() override;
+};
+
+/// Weighted probabilistic blend of child patterns.
+class MixturePattern final : public TraceSource {
+ public:
+  struct Component {
+    double weight;
+    std::unique_ptr<TraceSource> source;
+  };
+  MixturePattern(std::vector<Component> components, u64 seed);
+  std::optional<TraceRecord> next() override;
+  void reset() override;
+
+ private:
+  std::vector<Component> components_;
+  std::vector<double> cumulative_;
+  Rng rng_;
+  u64 seed_;
+};
+
+}  // namespace camps::trace

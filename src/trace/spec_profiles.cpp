@@ -1,0 +1,346 @@
+#include "trace/spec_profiles.hpp"
+
+#include <stdexcept>
+
+namespace camps::trace {
+namespace {
+
+constexpr u64 kMiB = u64{1} << 20;
+
+// Region layout inside each benchmark's (per-core) address space. The
+// friendly region is small enough to live in the L2/L3; memory regions are
+// far larger than the 16 MB shared L3 so their accesses reach the HMC.
+// The system layer maps each core's virtual space into a 1 GiB physical
+// slice by taking the address modulo 1 GiB; the bases below are chosen so
+// the three regions stay disjoint after that fold:
+//   friendly -> [0, 64 MiB)   mem0 -> [64, 576 MiB)   mem1 -> [640, 1024 MiB)
+constexpr Addr kFriendlyBase = 0;
+constexpr Addr kMemBase0 = (u64{1} << 30) + (u64{64} << 20);
+constexpr Addr kMemBase1 = (u64{3} << 30) + (u64{640} << 20);
+
+PatternParams params(Addr base, u64 region, double gap, double wr, u64 seed) {
+  PatternParams p;
+  p.base = base;
+  p.region_bytes = region;
+  p.mean_gap = gap;
+  p.write_ratio = wr;
+  p.seed = seed;
+  return p;
+}
+
+/// The cache-resident fraction of the instruction stream: hot rows inside a
+/// small region, absorbed almost entirely by the L2/L3.
+std::unique_ptr<TraceSource> friendly(const PatternGeometry& g, double gap,
+                                      double wr, u64 seed, u64 bytes = kMiB) {
+  return std::make_unique<HotRowPattern>(
+      params(kFriendlyBase, bytes, gap, wr, seed), g,
+      /*hot_rows=*/128, /*mean_reuse=*/24.0, /*cold_ratio=*/0.02);
+}
+
+using Comp = MixturePattern::Component;
+
+std::unique_ptr<TraceSource> mixture(std::vector<Comp> comps, u64 seed) {
+  return std::make_unique<MixturePattern>(std::move(comps), seed);
+}
+
+// Component builders. Regions (after the per-core 1 GiB fold):
+//   mem0 [64, 576 MiB) streams/random, mem1 [640, 1024 MiB) second stream
+//   or conflict lanes, hot [576, 640 MiB) long-lived hot rows.
+constexpr Addr kHotBase = (u64{2} << 30) + (u64{576} << 20);
+/// Short-burst streams: runs of ~6 lines trigger the RUT threshold and
+/// then die — the marginal prefetches whose cheap disposal is what the
+/// utilization+recency policy buys over LRU.
+constexpr Addr kShortBase = (u64{1} << 30) + (u64{320} << 20);
+
+std::unique_ptr<TraceSource> seq(const PatternGeometry& g, double gap,
+                                 double wr, u64 seed, Addr base, u64 region,
+                                 double run_lines) {
+  return std::make_unique<SequentialStream>(params(base, region, gap, wr, seed),
+                                            g, run_lines);
+}
+
+std::unique_ptr<TraceSource> hot(const PatternGeometry& g, double gap,
+                                 double wr, u64 seed, u64 region, u32 rows,
+                                 double reuse, double cold) {
+  // Hot structures occupy ~half a row: the row is re-referenced
+  // indefinitely but never reaches full line coverage, so replacement
+  // policy quality (not full-use harvesting) decides its fate.
+  return std::make_unique<HotRowPattern>(
+      params(kHotBase, region, gap, wr, seed), g, rows, reuse, cold,
+      /*active_lines=*/8);
+}
+
+std::unique_ptr<TraceSource> rnd(const PatternGeometry& g, double gap,
+                                 double wr, u64 seed, Addr base, u64 region) {
+  return std::make_unique<RandomPattern>(params(base, region, gap, wr, seed),
+                                         g);
+}
+
+std::unique_ptr<TraceSource> strided(const PatternGeometry& g, double gap,
+                                     double wr, u64 seed, Addr base,
+                                     u64 region, u64 stride) {
+  return std::make_unique<StridedPattern>(params(base, region, gap, wr, seed),
+                                          g, stride);
+}
+
+std::unique_ptr<TraceSource> conflict(const PatternGeometry& g, double gap,
+                                      double wr, u64 seed, Addr base,
+                                      u64 region, u32 streams, u32 per_row,
+                                      u32 lanes, u32 burst) {
+  return std::make_unique<ConflictStreams>(params(base, region, gap, wr, seed),
+                                           g, streams, per_row, lanes, burst);
+}
+
+// Per-benchmark factories. The weights on the memory components set the
+// MPKI class; the component types set the row-buffer behaviour the
+// prefetchers see: sequential runs consume whole rows (full-utilization
+// evictions), hot rows live across long reuse gaps (utilization+recency
+// replacement protects them where LRU ages them out), conflict lanes make
+// the Conflict Table earn its keep, and random scatter punishes blind
+// whole-row prefetching (BASE).
+
+std::unique_ptr<TraceSource> make_bwaves(u64 seed, const PatternGeometry& g) {
+  // Streaming numeric kernel: long sequential runs plus revisited boundary
+  // rows.
+  const double gap = 2.2, wr = 0.25;
+  std::vector<Comp> c;
+  c.push_back({0.80, friendly(g, gap, wr, seed * 31 + 1)});
+  c.push_back({0.08, seq(g, gap, wr, seed * 31 + 2, kMemBase0, 256 * kMiB,
+                         64.0)});
+  c.push_back({0.04, seq(g, gap, wr, seed * 31 + 5, kShortBase, 128 * kMiB,
+                         6.0)});
+  c.push_back({0.10, hot(g, gap, wr, seed * 31 + 3, 48 * kMiB, 128, 12.0,
+                         0.05)});
+  return mixture(std::move(c), seed);
+}
+
+std::unique_ptr<TraceSource> make_gems(u64 seed, const PatternGeometry& g) {
+  // FDTD stencil: sequential sweeps, plane-crossing strides, hot planes.
+  const double gap = 2.3, wr = 0.3;
+  std::vector<Comp> c;
+  c.push_back({0.80, friendly(g, gap, wr, seed * 37 + 1)});
+  c.push_back({0.06, seq(g, gap, wr, seed * 37 + 2, kMemBase0, 256 * kMiB,
+                         48.0)});
+  c.push_back({0.04, seq(g, gap, wr, seed * 37 + 5, kShortBase, 128 * kMiB,
+                         6.0)});
+  c.push_back({0.03, strided(g, gap, wr, seed * 37 + 3, kMemBase1,
+                             256 * kMiB, 2048)});
+  c.push_back({0.09, hot(g, gap, wr, seed * 37 + 4, 48 * kMiB, 128, 10.0,
+                         0.1)});
+  return mixture(std::move(c), seed);
+}
+
+std::unique_ptr<TraceSource> make_gcc(u64 seed, const PatternGeometry& g) {
+  // Irregular compiler data structures: bank-conflicting walkers, hot
+  // symbol-table rows, scattered tail.
+  const double gap = 2.4, wr = 0.25;
+  std::vector<Comp> c;
+  c.push_back({0.82, friendly(g, gap, wr, seed * 41 + 1)});
+  c.push_back({0.09, conflict(g, gap, wr, seed * 41 + 2, kMemBase1,
+                              128 * kMiB, 3, 9, 16, 3)});
+  c.push_back({0.08, hot(g, gap, wr, seed * 41 + 3, 32 * kMiB, 128, 8.0,
+                         0.1)});
+  c.push_back({0.01, rnd(g, gap, wr, seed * 41 + 4, kMemBase0, 128 * kMiB)});
+  c.push_back({0.03, seq(g, gap, wr, seed * 41 + 5, kShortBase, 128 * kMiB,
+                         6.0)});
+  return mixture(std::move(c), seed);
+}
+
+std::unique_ptr<TraceSource> make_lbm(u64 seed, const PatternGeometry& g) {
+  // Lattice-Boltzmann: write-heavy streaming over a large lattice.
+  const double gap = 2.0, wr = 0.45;
+  std::vector<Comp> c;
+  c.push_back({0.76, friendly(g, gap, wr, seed * 43 + 1)});
+  c.push_back({0.20, seq(g, gap, wr, seed * 43 + 2, kMemBase0, 256 * kMiB,
+                         96.0)});
+  c.push_back({0.04, seq(g, gap, wr, seed * 43 + 3, kMemBase1, 256 * kMiB,
+                         48.0)});
+  return mixture(std::move(c), seed);
+}
+
+std::unique_ptr<TraceSource> make_milc(u64 seed, const PatternGeometry& g) {
+  // Lattice QCD: scattered site accesses with short local sweeps and a few
+  // revisited gauge rows.
+  const double gap = 2.3, wr = 0.2;
+  std::vector<Comp> c;
+  c.push_back({0.81, friendly(g, gap, wr, seed * 47 + 1)});
+  c.push_back({0.04, rnd(g, gap, wr, seed * 47 + 2, kMemBase0, 224 * kMiB)});
+  c.push_back({0.04, seq(g, gap, wr, seed * 47 + 5, kShortBase, 128 * kMiB,
+                         6.0)});
+  c.push_back({0.05, seq(g, gap, wr, seed * 47 + 3, kMemBase1, 256 * kMiB,
+                         24.0)});
+  c.push_back({0.09, hot(g, gap, wr, seed * 47 + 4, 32 * kMiB, 96, 8.0,
+                         0.15)});
+  return mixture(std::move(c), seed);
+}
+
+std::unique_ptr<TraceSource> make_sphinx(u64 seed, const PatternGeometry& g) {
+  // Speech decoding: heavily revisited model rows with a scattered tail.
+  const double gap = 2.5, wr = 0.15;
+  std::vector<Comp> c;
+  c.push_back({0.82, friendly(g, gap, wr, seed * 53 + 1)});
+  c.push_back({0.16, hot(g, gap, wr, seed * 53 + 2, 64 * kMiB, 192, 10.0,
+                         0.1)});
+  c.push_back({0.02, rnd(g, gap, wr, seed * 53 + 3, kMemBase0, 224 * kMiB)});
+  c.push_back({0.03, seq(g, gap, wr, seed * 53 + 5, kShortBase, 128 * kMiB,
+                         6.0)});
+  c.push_back({0.02, seq(g, gap, wr, seed * 53 + 4, kMemBase1, 128 * kMiB,
+                         32.0)});
+  return mixture(std::move(c), seed);
+}
+
+std::unique_ptr<TraceSource> make_omnetpp(u64 seed, const PatternGeometry& g) {
+  // Discrete-event simulation: pointer-heavy, strongly conflicting event
+  // queues plus hot scheduler rows.
+  const double gap = 2.4, wr = 0.3;
+  std::vector<Comp> c;
+  c.push_back({0.80, friendly(g, gap, wr, seed * 59 + 1)});
+  c.push_back({0.12, conflict(g, gap, wr, seed * 59 + 2, kMemBase1,
+                              160 * kMiB, 4, 12, 24, 3)});
+  c.push_back({0.07, hot(g, gap, wr, seed * 59 + 3, 32 * kMiB, 96, 7.0,
+                         0.1)});
+  c.push_back({0.03, rnd(g, gap, wr, seed * 59 + 4, kMemBase0, 224 * kMiB)});
+  c.push_back({0.03, seq(g, gap, wr, seed * 59 + 5, kShortBase, 128 * kMiB,
+                         6.0)});
+  return mixture(std::move(c), seed);
+}
+
+std::unique_ptr<TraceSource> make_mcf(u64 seed, const PatternGeometry& g) {
+  // Network simplex: the classic pointer-chaser; highest MPKI of the set,
+  // with conflicting arc lists and a few hot node rows.
+  const double gap = 1.8, wr = 0.2;
+  std::vector<Comp> c;
+  c.push_back({0.72, friendly(g, gap, wr, seed * 61 + 1)});
+  c.push_back({0.08, rnd(g, gap, wr, seed * 61 + 2, kMemBase0, 224 * kMiB)});
+  c.push_back({0.04, seq(g, gap, wr, seed * 61 + 5, kShortBase, 128 * kMiB,
+                         6.0)});
+  c.push_back({0.10, conflict(g, gap, wr, seed * 61 + 3, kMemBase1,
+                              256 * kMiB, 3, 8, 32, 2)});
+  c.push_back({0.08, hot(g, gap, wr, seed * 61 + 4, 48 * kMiB, 128, 6.0,
+                         0.2)});
+  return mixture(std::move(c), seed);
+}
+
+std::unique_ptr<TraceSource> make_cactus(u64 seed, const PatternGeometry& g) {
+  // Numerical relativity: regular strides with strong row reuse.
+  const double gap = 2.8, wr = 0.3;
+  std::vector<Comp> c;
+  c.push_back({0.945, friendly(g, gap, wr, seed * 67 + 1)});
+  c.push_back({0.010, strided(g, gap, wr, seed * 67 + 2, kMemBase0,
+                              96 * kMiB, 256)});
+  c.push_back({0.009, seq(g, gap, wr, seed * 67 + 3, kMemBase1, 96 * kMiB,
+                          48.0)});
+  c.push_back({0.005, hot(g, gap, wr, seed * 67 + 4, 16 * kMiB, 32, 10.0,
+                          0.1)});
+  return mixture(std::move(c), seed);
+}
+
+std::unique_ptr<TraceSource> make_bzip2(u64 seed, const PatternGeometry& g) {
+  // Block compression: bursty sequential windows plus hot dictionary rows.
+  const double gap = 2.7, wr = 0.3;
+  std::vector<Comp> c;
+  c.push_back({0.95, friendly(g, gap, wr, seed * 71 + 1)});
+  c.push_back({0.019, seq(g, gap, wr, seed * 71 + 2, kMemBase0, 48 * kMiB,
+                         48.0)});
+  c.push_back({0.005, hot(g, gap, wr, seed * 71 + 3, 16 * kMiB, 32, 8.0,
+                         0.1)});
+  return mixture(std::move(c), seed);
+}
+
+std::unique_ptr<TraceSource> make_astar(u64 seed, const PatternGeometry& g) {
+  // Path search: pointer chasing in a map plus revisited frontier rows.
+  const double gap = 2.6, wr = 0.2;
+  std::vector<Comp> c;
+  c.push_back({0.94, friendly(g, gap, wr, seed * 73 + 1)});
+  c.push_back({0.019, rnd(g, gap, wr, seed * 73 + 2, kMemBase0, 64 * kMiB)});
+  c.push_back({0.009, hot(g, gap, wr, seed * 73 + 3, 16 * kMiB, 48, 6.0,
+                         0.15)});
+  return mixture(std::move(c), seed);
+}
+
+std::unique_ptr<TraceSource> make_wrf(u64 seed, const PatternGeometry& g) {
+  // Weather model: streaming field sweeps at low intensity.
+  const double gap = 2.9, wr = 0.3;
+  std::vector<Comp> c;
+  c.push_back({0.96, friendly(g, gap, wr, seed * 79 + 1)});
+  c.push_back({0.016, seq(g, gap, wr, seed * 79 + 2, kMemBase0, 96 * kMiB,
+                         64.0)});
+  c.push_back({0.006, hot(g, gap, wr, seed * 79 + 3, 16 * kMiB, 32, 8.0,
+                         0.1)});
+  return mixture(std::move(c), seed);
+}
+
+std::unique_ptr<TraceSource> make_tonto(u64 seed, const PatternGeometry& g) {
+  // Quantum chemistry: small hot structures, rare cold misses.
+  const double gap = 3.0, wr = 0.25;
+  std::vector<Comp> c;
+  c.push_back({0.97, friendly(g, gap, wr, seed * 83 + 1)});
+  c.push_back({0.02, hot(g, gap, wr, seed * 83 + 2, 32 * kMiB, 48, 6.0,
+                         0.3)});
+  return mixture(std::move(c), seed);
+}
+
+std::unique_ptr<TraceSource> make_zeusmp(u64 seed, const PatternGeometry& g) {
+  // Magnetohydrodynamics: plane strides over a medium grid.
+  const double gap = 2.8, wr = 0.3;
+  std::vector<Comp> c;
+  c.push_back({0.95, friendly(g, gap, wr, seed * 89 + 1)});
+  c.push_back({0.012, strided(g, gap, wr, seed * 89 + 2, kMemBase0,
+                              128 * kMiB, 2048)});
+  c.push_back({0.007, seq(g, gap, wr, seed * 89 + 3, kMemBase1, 128 * kMiB,
+                          32.0)});
+  c.push_back({0.005, hot(g, gap, wr, seed * 89 + 4, 16 * kMiB, 32, 8.0,
+                          0.1)});
+  return mixture(std::move(c), seed);
+}
+
+std::unique_ptr<TraceSource> make_h264(u64 seed, const PatternGeometry& g) {
+  // Video encoding: very high locality, reference-frame row reuse.
+  const double gap = 2.9, wr = 0.35;
+  std::vector<Comp> c;
+  c.push_back({0.96, friendly(g, gap, wr, seed * 97 + 1)});
+  c.push_back({0.016, seq(g, gap, wr, seed * 97 + 2, kMemBase0, 24 * kMiB,
+                         96.0)});
+  c.push_back({0.006, hot(g, gap, wr, seed * 97 + 3, 16 * kMiB, 32, 12.0,
+                         0.05)});
+  return mixture(std::move(c), seed);
+}
+
+std::vector<BenchmarkProfile> build_profiles() {
+  auto wrap = [](auto fn) {
+    return [fn](u64 seed, const PatternGeometry& g) { return fn(seed, g); };
+  };
+  return {
+      {"bwaves", MemClass::kHigh, "streaming numeric grid", wrap(make_bwaves)},
+      {"gems", MemClass::kHigh, "FDTD stencil, strided planes", wrap(make_gems)},
+      {"gcc", MemClass::kHigh, "irregular, bank-conflicting", wrap(make_gcc)},
+      {"lbm", MemClass::kHigh, "write-heavy streaming lattice", wrap(make_lbm)},
+      {"milc", MemClass::kHigh, "scattered lattice sites", wrap(make_milc)},
+      {"sphinx", MemClass::kHigh, "hot model rows + scatter", wrap(make_sphinx)},
+      {"omnetpp", MemClass::kHigh, "pointer-heavy, conflicting", wrap(make_omnetpp)},
+      {"mcf", MemClass::kHigh, "pointer chasing, huge WS", wrap(make_mcf)},
+      {"cactus", MemClass::kLow, "regular strides, good reuse", wrap(make_cactus)},
+      {"bzip2", MemClass::kLow, "bursty sequential windows", wrap(make_bzip2)},
+      {"astar", MemClass::kLow, "pointer chasing, medium WS", wrap(make_astar)},
+      {"wrf", MemClass::kLow, "low-intensity streaming", wrap(make_wrf)},
+      {"tonto", MemClass::kLow, "small hot structures", wrap(make_tonto)},
+      {"zeusmp", MemClass::kLow, "plane strides, medium grid", wrap(make_zeusmp)},
+      {"h264ref", MemClass::kLow, "high-locality video bursts", wrap(make_h264)},
+  };
+}
+
+}  // namespace
+
+const std::vector<BenchmarkProfile>& all_benchmarks() {
+  static const std::vector<BenchmarkProfile> profiles = build_profiles();
+  return profiles;
+}
+
+const BenchmarkProfile& benchmark(const std::string& name) {
+  for (const auto& b : all_benchmarks()) {
+    if (b.name == name) return b;
+  }
+  throw std::out_of_range("unknown benchmark: " + name);
+}
+
+}  // namespace camps::trace

@@ -1,0 +1,49 @@
+// SPEC CPU2006-like benchmark profiles.
+//
+// The paper builds its Table II workloads from 15 SPEC CPU2006 benchmarks,
+// classified by L3 misses-per-kilo-instruction: HM (MPKI >= 20) and
+// LM (1 <= MPKI < 20). SPEC traces are not redistributable, so each
+// benchmark here is a synthetic profile: a mixture of a cache-friendly
+// component (absorbed by L1/L2/L3) and memory components whose row-level
+// structure mimics the benchmark's published character (streaming for lbm/
+// bwaves, pointer-chasing for mcf/astar, row-conflict-heavy for gcc/
+// omnetpp, ...). Calibration tests (tests/trace) verify each profile lands
+// in its MPKI class when run through the Table I cache hierarchy.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/patterns.hpp"
+
+namespace camps::trace {
+
+enum class MemClass : u8 { kHigh, kLow };
+
+inline const char* to_string(MemClass c) {
+  return c == MemClass::kHigh ? "HM" : "LM";
+}
+
+struct BenchmarkProfile {
+  std::string name;
+  MemClass mem_class;
+  std::string character;  ///< One-line description of the access behaviour.
+
+  /// Builds a fresh infinite trace source for this benchmark. `seed`
+  /// decorrelates multiple instances of the same benchmark in one mix
+  /// (Table II repeats benchmarks within a workload).
+  std::function<std::unique_ptr<TraceSource>(u64 seed,
+                                             const PatternGeometry&)>
+      make_source;
+};
+
+/// All 15 profiles, in a stable order (8 HM then 7 LM).
+const std::vector<BenchmarkProfile>& all_benchmarks();
+
+/// Lookup by SPEC short name ("mcf", "h264ref", ...). Throws
+/// std::out_of_range for unknown names.
+const BenchmarkProfile& benchmark(const std::string& name);
+
+}  // namespace camps::trace

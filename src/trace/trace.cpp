@@ -1,0 +1,35 @@
+#include "trace/trace.hpp"
+
+#include <unordered_set>
+
+namespace camps::trace {
+
+std::vector<TraceRecord> collect(TraceSource& source, size_t max_records) {
+  std::vector<TraceRecord> out;
+  out.reserve(max_records);
+  while (out.size() < max_records) {
+    auto rec = source.next();
+    if (!rec) break;
+    out.push_back(*rec);
+  }
+  return out;
+}
+
+TraceStats summarize(const std::vector<TraceRecord>& records) {
+  TraceStats s;
+  std::unordered_set<Addr> lines;
+  for (const auto& r : records) {
+    ++s.records;
+    s.instructions += r.gap + 1;
+    if (r.type == AccessType::kRead) ++s.reads; else ++s.writes;
+    lines.insert(r.addr >> 6);
+  }
+  s.distinct_lines = lines.size();
+  if (s.instructions > 0) {
+    s.accesses_per_kilo_instr =
+        1000.0 * static_cast<double>(s.records) / static_cast<double>(s.instructions);
+  }
+  return s;
+}
+
+}  // namespace camps::trace

@@ -1,0 +1,72 @@
+// Instruction/memory trace abstraction.
+//
+// A trace is a sequence of TraceRecords: each record says "execute `gap`
+// non-memory instructions, then perform this memory access". Cores replay
+// traces (cpu/core.hpp); synthetic generators (trace/patterns.hpp) produce
+// them on the fly so multi-billion-record workloads need no disk files.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace camps::trace {
+
+struct TraceRecord {
+  u32 gap = 0;          ///< Non-memory instructions preceding this access.
+  Addr addr = 0;        ///< Virtual byte address of the access.
+  AccessType type = AccessType::kRead;
+
+  friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
+};
+
+/// Pull-based trace producer. Implementations may be finite (file-backed)
+/// or infinite (synthetic); cores stop at an instruction budget either way.
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  /// Next record, or nullopt at end-of-trace.
+  virtual std::optional<TraceRecord> next() = 0;
+
+  /// Rewinds to the beginning. Synthetic sources reseed to their initial
+  /// state so replays are identical.
+  virtual void reset() = 0;
+};
+
+/// In-memory trace, replayed in order. Used by tests and file loading.
+class VectorTraceSource final : public TraceSource {
+ public:
+  explicit VectorTraceSource(std::vector<TraceRecord> records)
+      : records_(std::move(records)) {}
+
+  std::optional<TraceRecord> next() override {
+    if (pos_ >= records_.size()) return std::nullopt;
+    return records_[pos_++];
+  }
+  void reset() override { pos_ = 0; }
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+
+ private:
+  std::vector<TraceRecord> records_;
+  size_t pos_ = 0;
+};
+
+/// Drains up to `max_records` from a source (testing/inspection helper).
+std::vector<TraceRecord> collect(TraceSource& source, size_t max_records);
+
+/// Summary statistics over a record window; used by calibration tests.
+struct TraceStats {
+  u64 records = 0;
+  u64 instructions = 0;     ///< gaps + one per access
+  u64 reads = 0;
+  u64 writes = 0;
+  u64 distinct_lines = 0;   ///< distinct 64 B lines touched
+  double accesses_per_kilo_instr = 0.0;
+};
+TraceStats summarize(const std::vector<TraceRecord>& records);
+
+}  // namespace camps::trace

@@ -1,0 +1,179 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace camps {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng r(0);
+  std::set<u64> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(r.next());
+  EXPECT_GT(seen.size(), 95u);  // no stuck state
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng r(7);
+  for (u64 bound : {u64{1}, u64{2}, u64{3}, u64{10}, u64{1000}, u64{1} << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowOneAlwaysZero) {
+  Rng r(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(r.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng r(11);
+  std::set<u64> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(r.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  Rng r(13);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[r.next_below(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 10, n / 10 * 0.1);
+  }
+}
+
+TEST(Rng, NextRangeInclusiveBounds) {
+  Rng r(17);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const u64 v = r.next_range(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+    saw_lo |= v == 5;
+    saw_hi |= v == 9;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextRangeDegenerate) {
+  Rng r(19);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(r.next_range(33, 33), 33u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(23);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleMeanNearHalf) {
+  Rng r(29);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NextBoolExtremes) {
+  Rng r(31);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.next_bool(0.0));
+    EXPECT_TRUE(r.next_bool(1.0));
+    EXPECT_FALSE(r.next_bool(-0.5));
+    EXPECT_TRUE(r.next_bool(1.5));
+  }
+}
+
+TEST(Rng, NextBoolMatchesProbability) {
+  Rng r(37);
+  int yes = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (r.next_bool(0.3)) ++yes;
+  }
+  EXPECT_NEAR(static_cast<double>(yes) / n, 0.3, 0.01);
+}
+
+TEST(Rng, GeometricAtLeastOne) {
+  Rng r(41);
+  for (double mean : {0.1, 1.0, 2.0, 16.0}) {
+    for (int i = 0; i < 200; ++i) EXPECT_GE(r.next_geometric(mean), 1u);
+  }
+}
+
+TEST(Rng, GeometricMeanApproximatelyCorrect) {
+  Rng r(43);
+  for (double mean : {2.0, 8.0, 64.0}) {
+    double sum = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(r.next_geometric(mean));
+    EXPECT_NEAR(sum / n, mean, mean * 0.08) << "mean=" << mean;
+  }
+}
+
+TEST(Rng, SplitIsIndependentOfParentUse) {
+  Rng parent(55);
+  Rng child1 = parent.split(1);
+  parent.next();  // advancing the parent must not change future splits' seeds
+  Rng child1_again = Rng(55).split(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(child1.next(), child1_again.next());
+}
+
+TEST(Rng, SplitsWithDifferentSaltsDiffer) {
+  Rng parent(55);
+  Rng a = parent.split(1), b = parent.split(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+// Property sweep: next_below is in-bounds and hits both edges for a spread
+// of bounds.
+class RngBoundSweep : public ::testing::TestWithParam<u64> {};
+
+TEST_P(RngBoundSweep, InBoundsAndEdgeReachable) {
+  const u64 bound = GetParam();
+  Rng r(bound * 7919 + 3);
+  bool saw_zero = false, saw_top = false;
+  for (int i = 0; i < 20000; ++i) {
+    const u64 v = r.next_below(bound);
+    ASSERT_LT(v, bound);
+    saw_zero |= v == 0;
+    saw_top |= v == bound - 1;
+  }
+  if (bound <= 64) {
+    EXPECT_TRUE(saw_zero);
+    EXPECT_TRUE(saw_top);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundSweep,
+                         ::testing::Values(1, 2, 3, 5, 16, 17, 64, 1000,
+                                           u64{1} << 32, u64{1} << 63));
+
+}  // namespace
+}  // namespace camps

@@ -1,0 +1,236 @@
+// Trace-driven core: issue pacing, the outstanding-load window, and the
+// warmup/measurement methodology hooks.
+#include <gtest/gtest.h>
+
+#include "cpu/core.hpp"
+
+namespace camps::cpu {
+namespace {
+
+/// Memory that answers every read after a fixed latency.
+class FixedMemory final : public cache::MemoryPort {
+ public:
+  FixedMemory(sim::Simulator& sim, Tick latency) : sim_(sim), latency_(latency) {}
+  void mem_read(Addr, CoreId, std::function<void()> done) override {
+    ++reads;
+    sim_.schedule(latency_, std::move(done));
+  }
+  void mem_write(Addr, CoreId) override { ++writes; }
+  u64 reads = 0, writes = 0;
+
+ private:
+  sim::Simulator& sim_;
+  Tick latency_;
+};
+
+cache::HierarchyConfig tiny_caches() {
+  cache::HierarchyConfig cfg;
+  cfg.l1 = cache::CacheConfig{1024, 2, 64, 2};
+  cfg.l2 = cache::CacheConfig{4096, 4, 64, 6};
+  cfg.l3 = cache::CacheConfig{16384, 4, 64, 20};
+  return cfg;
+}
+
+struct Harness {
+  sim::Simulator sim;
+  FixedMemory memory{sim, 200 * sim::kCpuTicksPerCycle};
+  cache::CacheHierarchy caches{sim, tiny_caches(), 1, &memory};
+  std::unique_ptr<trace::VectorTraceSource> trace;
+  std::unique_ptr<Core> core;
+  std::vector<CoreId> warmed, measured;
+
+  void build(std::vector<trace::TraceRecord> records, CoreConfig cfg) {
+    trace = std::make_unique<trace::VectorTraceSource>(std::move(records));
+    core = std::make_unique<Core>(
+        sim, 0, cfg, trace.get(), &caches,
+        [this](CoreId id) { warmed.push_back(id); },
+        [this](CoreId id) { measured.push_back(id); });
+  }
+};
+
+std::vector<trace::TraceRecord> sequential_loads(size_t n, u32 gap = 3) {
+  std::vector<trace::TraceRecord> v;
+  for (size_t i = 0; i < n; ++i) {
+    v.push_back({gap, 0x100000 + 64 * i, AccessType::kRead});
+  }
+  return v;
+}
+
+TEST(Core, ExecutesWholeTraceAndHalts) {
+  Harness h;
+  CoreConfig cfg;
+  cfg.warmup_instructions = 8;
+  cfg.measure_instructions = 16;
+  h.build(sequential_loads(20), cfg);
+  h.core->start();
+  h.sim.run();
+  EXPECT_TRUE(h.core->halted());
+  EXPECT_EQ(h.core->instructions_issued(), 20 * 4u);  // (gap 3 + 1) each
+  EXPECT_EQ(h.core->loads(), 20u);
+}
+
+TEST(Core, PhaseCallbacksFireOnce) {
+  Harness h;
+  CoreConfig cfg;
+  cfg.warmup_instructions = 8;
+  cfg.measure_instructions = 16;
+  h.build(sequential_loads(50), cfg);
+  h.core->start();
+  h.sim.run();
+  EXPECT_EQ(h.warmed.size(), 1u);
+  EXPECT_EQ(h.measured.size(), 1u);
+  EXPECT_TRUE(h.core->warmed_up());
+  EXPECT_TRUE(h.core->measured());
+  EXPECT_EQ(h.core->measured_instructions(), 16u);
+}
+
+TEST(Core, IpcBoundedByIssueWidthAndMemoryPort) {
+  Harness h;
+  CoreConfig cfg;
+  cfg.issue_width = 4;
+  cfg.warmup_instructions = 40;
+  cfg.measure_instructions = 400;
+  h.build(sequential_loads(200, /*gap=*/7), cfg);  // 8 instrs / record
+  h.core->start();
+  h.sim.run();
+  const double ipc = h.core->measured_ipc();
+  EXPECT_GT(ipc, 0.0);
+  // ceil(8/4) = 2 cycles per record minimum -> IPC <= 4.
+  EXPECT_LE(ipc, 4.0 + 1e-9);
+}
+
+TEST(Core, ZeroGapStillProgresses) {
+  Harness h;
+  CoreConfig cfg;
+  cfg.warmup_instructions = 2;
+  cfg.measure_instructions = 4;
+  h.build(sequential_loads(50, /*gap=*/0), cfg);
+  h.core->start();
+  h.sim.run();
+  EXPECT_TRUE(h.core->halted());
+  EXPECT_EQ(h.core->instructions_issued(), 50u);
+}
+
+TEST(Core, WindowLimitsOutstandingLoads) {
+  Harness h;
+  CoreConfig cfg;
+  cfg.max_outstanding_loads = 2;
+  cfg.warmup_instructions = 10;
+  cfg.measure_instructions = 100;
+  // All loads to distinct lines -> every one misses to memory (200 cyc).
+  h.build(sequential_loads(30, /*gap=*/0), cfg);
+  h.core->start();
+  h.sim.run();
+  EXPECT_GT(h.core->stall_cycles(), 0u) << "window of 2 must stall";
+  // With at most 2 in flight over 200-cycle misses, 30 loads need >= 3000
+  // cycles of stalling in total.
+  EXPECT_GT(h.core->stall_cycles(), 2000u);
+}
+
+TEST(Core, WiderWindowStallsLess) {
+  auto run_with_window = [](u32 window) {
+    Harness h;
+    CoreConfig cfg;
+    cfg.max_outstanding_loads = window;
+    cfg.warmup_instructions = 10;
+    cfg.measure_instructions = 100;
+    h.build(sequential_loads(30, 0), cfg);
+    h.core->start();
+    h.sim.run();
+    return h.core->stall_cycles();
+  };
+  EXPECT_LT(run_with_window(8), run_with_window(1));
+}
+
+TEST(Core, StoresDoNotBlock) {
+  Harness h;
+  CoreConfig cfg;
+  cfg.max_outstanding_loads = 1;
+  cfg.warmup_instructions = 4;
+  cfg.measure_instructions = 8;
+  std::vector<trace::TraceRecord> recs;
+  for (size_t i = 0; i < 30; ++i) {
+    recs.push_back({0, 0x200000 + 64 * i, AccessType::kWrite});
+  }
+  h.build(recs, cfg);
+  h.core->start();
+  h.sim.run();
+  EXPECT_EQ(h.core->stall_cycles(), 0u);
+  EXPECT_EQ(h.core->stores(), 30u);
+}
+
+TEST(Core, EarlyTraceEndCompletesPhases) {
+  Harness h;
+  CoreConfig cfg;
+  cfg.warmup_instructions = 1000000;  // unreachable
+  cfg.measure_instructions = 1000000;
+  h.build(sequential_loads(5), cfg);
+  h.core->start();
+  h.sim.run();
+  EXPECT_TRUE(h.core->halted());
+  EXPECT_TRUE(h.core->warmed_up());
+  EXPECT_TRUE(h.core->measured());
+  EXPECT_EQ(h.measured.size(), 1u) << "run must not deadlock on short traces";
+}
+
+TEST(Core, MeasuredIpcUsesOnlyTheWindow) {
+  Harness h;
+  CoreConfig cfg;
+  cfg.warmup_instructions = 20;
+  cfg.measure_instructions = 40;
+  h.build(sequential_loads(100, 1), cfg);
+  h.core->start();
+  h.sim.run();
+  // IPC positive and finite; instructions counted exactly.
+  EXPECT_GT(h.core->measured_ipc(), 0.0);
+  EXPECT_EQ(h.core->measured_instructions(), 40u);
+}
+
+TEST(Core, TwoCoresShareTheHierarchyIndependently) {
+  sim::Simulator sim;
+  FixedMemory memory{sim, 200 * sim::kCpuTicksPerCycle};
+  cache::CacheHierarchy caches{sim, tiny_caches(), 2, &memory};
+  CoreConfig cfg;
+  cfg.warmup_instructions = 200;   // past core 0's four cold misses
+  cfg.measure_instructions = 400;
+  // Core 0 loops over cached lines; core 1 streams through memory.
+  std::vector<trace::TraceRecord> hot, cold;
+  for (size_t i = 0; i < 200; ++i) {
+    hot.push_back({3, 0x100000 + 64 * (i % 4), AccessType::kRead});
+    cold.push_back({3, 0x800000 + 64 * i, AccessType::kRead});
+  }
+  trace::VectorTraceSource hot_src(hot), cold_src(cold);
+  int done = 0;
+  Core fast(sim, 0, cfg, &hot_src, &caches, nullptr,
+            [&](CoreId) { ++done; });
+  Core slow(sim, 1, cfg, &cold_src, &caches, nullptr,
+            [&](CoreId) { ++done; });
+  fast.start();
+  slow.start();
+  sim.run();
+  EXPECT_EQ(done, 2);
+  EXPECT_GT(fast.measured_ipc(), slow.measured_ipc() * 1.5)
+      << "the cache-resident core must run much faster";
+  EXPECT_TRUE(caches.l1(0).probe(0x100000));
+  EXPECT_FALSE(caches.l1(0).probe(0x800000))
+      << "core 1's stream must not pollute core 0's private L1";
+}
+
+TEST(Core, CacheHitsKeepIpcHigh) {
+  Harness h;
+  CoreConfig cfg;
+  cfg.warmup_instructions = 100;
+  cfg.measure_instructions = 500;
+  // Loop over 4 lines: everything after warmup hits the L1.
+  std::vector<trace::TraceRecord> recs;
+  for (size_t i = 0; i < 500; ++i) {
+    recs.push_back({3, 0x100000 + 64 * (i % 4), AccessType::kRead});
+  }
+  h.build(recs, cfg);
+  h.core->start();
+  h.sim.run();
+  EXPECT_GT(h.core->measured_ipc(), 2.0) << "L1-resident loop should be fast";
+}
+
+}  // namespace
+}  // namespace camps::cpu

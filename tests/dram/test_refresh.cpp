@@ -1,0 +1,72 @@
+#include "dram/refresh.hpp"
+
+#include <gtest/gtest.h>
+
+namespace camps::dram {
+namespace {
+
+TEST(Refresh, NotDueBeforeFirstInterval) {
+  const TimingParams t = default_timing();
+  RefreshScheduler r(t);
+  EXPECT_FALSE(r.due(0));
+  EXPECT_FALSE(r.due(t.tREFI - 1));
+  EXPECT_TRUE(r.due(t.tREFI));
+  EXPECT_EQ(r.next_due(), t.tREFI);
+}
+
+TEST(Refresh, DisabledNeverDue) {
+  const TimingParams t = default_timing();
+  RefreshScheduler r(t, /*enabled=*/false);
+  EXPECT_FALSE(r.due(100 * t.tREFI));
+  EXPECT_EQ(r.next_due(), kTickNever);
+}
+
+TEST(Refresh, StartSetsBusyWindow) {
+  const TimingParams t = default_timing();
+  RefreshScheduler r(t);
+  r.start(t.tREFI);
+  EXPECT_EQ(r.busy_until(), t.tREFI + t.tRFC);
+  EXPECT_TRUE(r.in_progress(t.tREFI));
+  EXPECT_TRUE(r.in_progress(t.tREFI + t.tRFC - 1));
+  EXPECT_FALSE(r.in_progress(t.tREFI + t.tRFC));
+}
+
+TEST(Refresh, NextDueAdvancesByFullInterval) {
+  const TimingParams t = default_timing();
+  RefreshScheduler r(t);
+  r.start(t.tREFI + 50);  // started late
+  // Due point anchored to the schedule, not the late start.
+  EXPECT_EQ(r.next_due(), 2 * t.tREFI);
+  EXPECT_EQ(r.refreshes_issued(), 1u);
+}
+
+TEST(Refresh, CatchesUpAfterLongStall) {
+  const TimingParams t = default_timing();
+  RefreshScheduler r(t);
+  // Controller was blocked for 10 intervals; scheduler must not demand a
+  // storm of 10 back-to-back refreshes.
+  const u64 late = 10 * t.tREFI;
+  ASSERT_TRUE(r.due(late));
+  r.start(late);
+  EXPECT_GE(r.next_due() + t.tREFI, late);
+  EXPECT_EQ(r.refreshes_issued(), 1u);
+}
+
+TEST(Refresh, PeriodicSteadyState) {
+  const TimingParams t = default_timing();
+  RefreshScheduler r(t);
+  u64 issued = 0;
+  for (u64 cycle = 0; cycle < 20 * t.tREFI; ++cycle) {
+    if (r.due(cycle) && !r.in_progress(cycle)) {
+      r.start(cycle);
+      ++issued;
+      cycle = r.busy_until();
+    }
+  }
+  EXPECT_EQ(issued, r.refreshes_issued());
+  EXPECT_GE(issued, 19u);
+  EXPECT_LE(issued, 20u);
+}
+
+}  // namespace
+}  // namespace camps::dram

@@ -1,0 +1,62 @@
+#include "dram/timing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace camps::dram {
+namespace {
+
+TEST(Timing, DefaultsMatchTableI) {
+  const TimingParams t = default_timing();
+  EXPECT_EQ(t.tRCD, 11u);
+  EXPECT_EQ(t.tRP, 11u);
+  EXPECT_EQ(t.tCL, 11u);
+}
+
+TEST(Timing, DefaultsAreValid) {
+  EXPECT_TRUE(default_timing().valid());
+}
+
+TEST(Timing, ZeroCoreParamsInvalid) {
+  TimingParams t = default_timing();
+  t.tRCD = 0;
+  EXPECT_FALSE(t.valid());
+  t = default_timing();
+  t.tRP = 0;
+  EXPECT_FALSE(t.valid());
+  t = default_timing();
+  t.tCL = 0;
+  EXPECT_FALSE(t.valid());
+  t = default_timing();
+  t.tBURST = 0;
+  EXPECT_FALSE(t.valid());
+  t = default_timing();
+  t.tROWFETCH = 0;
+  EXPECT_FALSE(t.valid());
+}
+
+TEST(Timing, RasShorterThanRcdInvalid) {
+  TimingParams t = default_timing();
+  t.tRAS = t.tRCD - 1;
+  EXPECT_FALSE(t.valid());
+}
+
+TEST(Timing, RefreshMustFitInterval) {
+  TimingParams t = default_timing();
+  t.tREFI = t.tRFC;
+  EXPECT_FALSE(t.valid());
+}
+
+TEST(Timing, RefreshIntervalMatches78Microseconds) {
+  // 7.8 us at 800 MHz = 6240 cycles.
+  EXPECT_EQ(default_timing().tREFI, 6240u);
+}
+
+TEST(Timing, ActivationWindowConstraintsSane) {
+  const TimingParams t = default_timing();
+  // Four tRRD-spaced ACTs must not already exceed the tFAW window, or
+  // tFAW would degenerate into a tighter tRRD.
+  EXPECT_GT(t.tFAW, 3 * t.tRRD);
+}
+
+}  // namespace
+}  // namespace camps::dram

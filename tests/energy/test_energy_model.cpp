@@ -1,0 +1,75 @@
+#include "energy/energy_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace camps::energy {
+namespace {
+
+TEST(EnergyModel, StartsAtZero) {
+  EnergyModel e;
+  EXPECT_DOUBLE_EQ(e.dynamic_pj(), 0.0);
+  for (size_t i = 0; i < kEnergyEventCount; ++i) {
+    EXPECT_EQ(e.count(static_cast<EnergyEvent>(i)), 0u);
+  }
+}
+
+TEST(EnergyModel, AccumulatesEvents) {
+  EnergyModel e;
+  e.add(EnergyEvent::kActivate);
+  e.add(EnergyEvent::kActivate, 4);
+  EXPECT_EQ(e.count(EnergyEvent::kActivate), 5u);
+}
+
+TEST(EnergyModel, DynamicEnergyUsesPerEventCosts) {
+  EnergyParams p;
+  EnergyModel e(p);
+  e.add(EnergyEvent::kActivate, 2);
+  e.add(EnergyEvent::kRowFetch, 1);
+  const double expect =
+      2 * p.pj_per_event[static_cast<size_t>(EnergyEvent::kActivate)] +
+      p.pj_per_event[static_cast<size_t>(EnergyEvent::kRowFetch)];
+  EXPECT_DOUBLE_EQ(e.dynamic_pj(), expect);
+}
+
+TEST(EnergyModel, BackgroundScalesWithTime) {
+  EnergyParams p;
+  p.background_watts = 0.5;  // 0.5 W = 500 pJ/ns
+  EnergyModel e(p);
+  EXPECT_DOUBLE_EQ(e.background_pj(100.0), 50000.0);
+  EXPECT_DOUBLE_EQ(e.total_pj(100.0), 50000.0);
+}
+
+TEST(EnergyModel, RowMovesCostMoreThanLineOps) {
+  const EnergyParams p;
+  EXPECT_GT(p.pj_per_event[static_cast<size_t>(EnergyEvent::kRowFetch)],
+            4 * p.pj_per_event[static_cast<size_t>(EnergyEvent::kReadLine)]);
+  EXPECT_LT(p.pj_per_event[static_cast<size_t>(EnergyEvent::kRowFetch)],
+            16 * p.pj_per_event[static_cast<size_t>(EnergyEvent::kReadLine)])
+      << "the wide TSV bus amortizes per-line overheads";
+}
+
+TEST(EnergyModel, BreakdownNamesAllEvents) {
+  EnergyModel e;
+  e.add(EnergyEvent::kRefresh, 3);
+  const std::string b = e.breakdown();
+  EXPECT_NE(b.find("refresh: 3 events"), std::string::npos);
+  EXPECT_NE(b.find("activate"), std::string::npos);
+  EXPECT_NE(b.find("link_flit"), std::string::npos);
+}
+
+TEST(EnergyModel, ResetZeroes) {
+  EnergyModel e;
+  e.add(EnergyEvent::kPrecharge, 7);
+  e.reset();
+  EXPECT_EQ(e.count(EnergyEvent::kPrecharge), 0u);
+  EXPECT_DOUBLE_EQ(e.dynamic_pj(), 0.0);
+}
+
+TEST(EnergyModel, EventNamesStable) {
+  EXPECT_STREQ(to_string(EnergyEvent::kActivate), "activate");
+  EXPECT_STREQ(to_string(EnergyEvent::kRowWriteback), "row_writeback");
+  EXPECT_STREQ(to_string(EnergyEvent::kBufferAccess), "buffer_access");
+}
+
+}  // namespace
+}  // namespace camps::energy

@@ -1,0 +1,91 @@
+#include "exp/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace camps::exp {
+namespace {
+
+ExperimentConfig tiny() {
+  ExperimentConfig cfg;
+  cfg.warmup_instructions = 4000;
+  cfg.measure_instructions = 20000;
+  return cfg;
+}
+
+TEST(Runner, WorkloadLists) {
+  EXPECT_EQ(Runner::all_workloads().size(), 12u);
+  EXPECT_EQ(Runner::workloads_of(workload::WorkloadClass::kHM).size(), 4u);
+  EXPECT_EQ(Runner::workloads_of(workload::WorkloadClass::kLM).size(), 4u);
+  EXPECT_EQ(Runner::workloads_of(workload::WorkloadClass::kMX).size(), 4u);
+  EXPECT_EQ(Runner::workloads_of(workload::WorkloadClass::kMX)[0], "MX1");
+}
+
+TEST(Runner, CachesResults) {
+  Runner runner(tiny());
+  const auto& first = runner.result("LM1", prefetch::SchemeKind::kNone);
+  const auto& second = runner.result("LM1", prefetch::SchemeKind::kNone);
+  EXPECT_EQ(&first, &second) << "same run must not execute twice";
+}
+
+TEST(Runner, SpeedupOfSchemeAgainstItselfIsOne) {
+  Runner runner(tiny());
+  EXPECT_DOUBLE_EQ(runner.speedup("LM1", prefetch::SchemeKind::kNone,
+                                  prefetch::SchemeKind::kNone),
+                   1.0);
+}
+
+TEST(Runner, MeanSpeedupIsGeometric) {
+  Runner runner(tiny());
+  const double s1 = runner.speedup("LM1", prefetch::SchemeKind::kCampsMod,
+                                   prefetch::SchemeKind::kBase);
+  const double s2 = runner.speedup("LM2", prefetch::SchemeKind::kCampsMod,
+                                   prefetch::SchemeKind::kBase);
+  const double mean = runner.mean_speedup({"LM1", "LM2"},
+                                          prefetch::SchemeKind::kCampsMod,
+                                          prefetch::SchemeKind::kBase);
+  EXPECT_NEAR(mean, std::sqrt(s1 * s2), 1e-9);
+}
+
+TEST(Runner, SoloIpcCachedAndPositive) {
+  Runner runner(tiny());
+  const double a = runner.solo_ipc("h264ref", prefetch::SchemeKind::kNone);
+  EXPECT_GT(a, 0.0);
+  EXPECT_LE(a, 4.0);
+  EXPECT_DOUBLE_EQ(runner.solo_ipc("h264ref", prefetch::SchemeKind::kNone),
+                   a);
+}
+
+TEST(Runner, WeightedSpeedupBounds) {
+  Runner runner(tiny());
+  const double ws =
+      runner.weighted_speedup("LM4", prefetch::SchemeKind::kNone);
+  // Eight co-runners, each at most (approximately) its solo speed; memory
+  // contention keeps the total well below 8 but above 1.
+  EXPECT_GT(ws, 1.0);
+  EXPECT_LT(ws, 8.5);
+}
+
+TEST(Runner, HarmonicAtMostWeightedOverN) {
+  // HM(x) <= AM(x): harmonic speedup <= weighted speedup / N elementwise.
+  Runner runner(tiny());
+  const double ws =
+      runner.weighted_speedup("LM4", prefetch::SchemeKind::kNone);
+  const double hs =
+      runner.harmonic_speedup("LM4", prefetch::SchemeKind::kNone);
+  EXPECT_GT(hs, 0.0);
+  EXPECT_LE(hs, ws / 8.0 + 1e-9);
+}
+
+TEST(Runner, ConfigPropagatesToSystem) {
+  ExperimentConfig cfg = tiny();
+  cfg.seed = 1234;
+  const auto sys_cfg = cfg.system_config(prefetch::SchemeKind::kMmd);
+  EXPECT_EQ(sys_cfg.seed, 1234u);
+  EXPECT_EQ(sys_cfg.core.measure_instructions, 20000u);
+  EXPECT_EQ(sys_cfg.scheme, prefetch::SchemeKind::kMmd);
+}
+
+}  // namespace
+}  // namespace camps::exp

@@ -1,0 +1,147 @@
+#include "hmc/address_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace camps::hmc {
+namespace {
+
+TEST(Geometry, TableIDefaults) {
+  const HmcGeometry g;
+  EXPECT_EQ(g.vaults, 32u);
+  EXPECT_EQ(g.banks_per_vault, 16u);
+  EXPECT_EQ(g.row_bytes, 1024u);
+  EXPECT_EQ(g.line_bytes, 64u);
+  EXPECT_EQ(g.lines_per_row(), 16u);
+  EXPECT_EQ(g.capacity_bytes(), u64{8} << 30);  // 8 GB cube
+  EXPECT_TRUE(g.valid());
+}
+
+TEST(Geometry, NonPowerOfTwoInvalid) {
+  HmcGeometry g;
+  g.vaults = 12;
+  EXPECT_FALSE(g.valid());
+  g = HmcGeometry{};
+  g.row_bytes = 1000;
+  EXPECT_FALSE(g.valid());
+}
+
+TEST(AddressMap, DecodeEncodeRoundTrip) {
+  const AddressMap map;
+  u64 x = 17;
+  for (int i = 0; i < 2000; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    const Addr addr = (x % map.geometry().capacity_bytes()) & ~u64{63};
+    const DecodedAddr d = map.decode(addr);
+    EXPECT_EQ(map.encode(d), addr);
+  }
+}
+
+TEST(AddressMap, FieldRangesRespected) {
+  const AddressMap map;
+  u64 x = 23;
+  for (int i = 0; i < 2000; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    const DecodedAddr d = map.decode(x);
+    EXPECT_LT(d.vault, 32u);
+    EXPECT_LT(d.bank, 16u);
+    EXPECT_LT(d.row, map.geometry().rows_per_bank);
+    EXPECT_LT(d.column, 16u);
+    EXPECT_EQ(d.rank, 0u);
+  }
+}
+
+TEST(AddressMap, RoRaBaVaCoConsecutiveLinesShareRow) {
+  const AddressMap map;  // default order
+  const DecodedAddr a = map.decode(0);
+  for (Addr addr = 64; addr < 1024; addr += 64) {
+    const DecodedAddr d = map.decode(addr);
+    EXPECT_EQ(d.vault, a.vault);
+    EXPECT_EQ(d.bank, a.bank);
+    EXPECT_EQ(d.row, a.row);
+    EXPECT_EQ(d.column, addr / 64);
+  }
+}
+
+TEST(AddressMap, RoRaBaVaCoRowsStripeAcrossVaults) {
+  const AddressMap map;
+  const DecodedAddr a = map.decode(0);
+  const DecodedAddr b = map.decode(1024);  // next row-sized block
+  EXPECT_NE(b.vault, a.vault);
+  EXPECT_EQ(b.bank, a.bank);
+  EXPECT_EQ(b.row, a.row);
+}
+
+TEST(AddressMap, SameBankRowStrideChangesOnlyRow) {
+  for (const FieldOrder& order : {kRoRaBaVaCo, kRoBaRaCoVa, kRoVaRaCoBa}) {
+    const AddressMap map(HmcGeometry{}, order);
+    const u64 stride = map.same_bank_row_stride();
+    u64 x = 5;
+    for (int i = 0; i < 200; ++i) {
+      x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+      const Addr addr =
+          (x % (map.geometry().capacity_bytes() - stride)) & ~u64{63};
+      const DecodedAddr a = map.decode(addr);
+      const DecodedAddr b = map.decode(addr + stride);
+      EXPECT_EQ(a.vault, b.vault) << map.order_name();
+      EXPECT_EQ(a.bank, b.bank) << map.order_name();
+      EXPECT_EQ(a.rank, b.rank) << map.order_name();
+      EXPECT_EQ(a.row + 1, b.row) << map.order_name();
+    }
+  }
+}
+
+TEST(AddressMap, DefaultStrideIs512KiB) {
+  // 64 B x 16 columns x 32 vaults x 16 banks (rank size 1).
+  EXPECT_EQ(AddressMap().same_bank_row_stride(), u64{1} << 19);
+}
+
+TEST(AddressMap, AddressesWrapAtCapacity) {
+  const AddressMap map;
+  const Addr cap = map.geometry().capacity_bytes();
+  EXPECT_EQ(map.decode(cap + 4096), map.decode(4096));
+}
+
+TEST(AddressMap, OrderNames) {
+  EXPECT_EQ(AddressMap(HmcGeometry{}, kRoRaBaVaCo).order_name(), "RoRaBaVaCo");
+  EXPECT_EQ(AddressMap(HmcGeometry{}, kRoBaRaCoVa).order_name(), "RoBaRaCoVa");
+  EXPECT_EQ(AddressMap(HmcGeometry{}, kRoVaRaCoBa).order_name(), "RoVaRaCoBa");
+}
+
+TEST(AddressMap, FineInterleaveOrderStripesLinesAcrossVaults) {
+  const AddressMap map(HmcGeometry{}, kRoBaRaCoVa);
+  // Vault is the least significant field: consecutive lines change vault.
+  const DecodedAddr a = map.decode(0);
+  const DecodedAddr b = map.decode(64);
+  EXPECT_NE(a.vault, b.vault);
+}
+
+TEST(AddressMap, DistributesLinesUniformly) {
+  const AddressMap map;
+  std::vector<u64> per_vault(32, 0);
+  for (Addr addr = 0; addr < (u64{1} << 22); addr += 64) {
+    ++per_vault[map.decode(addr).vault];
+  }
+  const u64 expect = (u64{1} << 22) / 64 / 32;
+  for (u64 count : per_vault) EXPECT_EQ(count, expect);
+}
+
+TEST(AddressMap, SmallGeometry) {
+  HmcGeometry g;
+  g.vaults = 1;
+  g.banks_per_vault = 2;
+  g.rows_per_bank = 4;
+  const AddressMap map(g);
+  std::set<std::tuple<u32, u32, u64, u32>> seen;
+  for (Addr addr = 0; addr < g.capacity_bytes(); addr += 64) {
+    const DecodedAddr d = map.decode(addr);
+    EXPECT_TRUE(
+        seen.emplace(d.vault, d.bank, d.row, d.column).second)
+        << "each line address decodes uniquely";
+  }
+  EXPECT_EQ(seen.size(), g.capacity_bytes() / 64);
+}
+
+}  // namespace
+}  // namespace camps::hmc

@@ -1,0 +1,251 @@
+#include "prefetch/prefetch_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace camps::prefetch {
+namespace {
+
+PrefetchBufferConfig small_cfg(u32 entries = 4) {
+  return PrefetchBufferConfig{
+      .entries = entries, .lines_per_row = 16, .hit_latency = 22};
+}
+
+BankRow row(u32 bank, u64 r) { return BankRow{bank, r}; }
+
+TEST(PrefetchBuffer, StartsEmpty) {
+  PrefetchBuffer buf(small_cfg(), make_lru());
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.capacity(), 4u);
+  EXPECT_FALSE(buf.contains(row(0, 1)));
+}
+
+TEST(PrefetchBuffer, InsertMakesResident) {
+  PrefetchBuffer buf(small_cfg(), make_lru());
+  const auto result = buf.insert(row(0, 1));
+  EXPECT_TRUE(result.inserted);
+  EXPECT_FALSE(result.victim.has_value());
+  EXPECT_TRUE(buf.contains(row(0, 1)));
+  EXPECT_EQ(buf.size(), 1u);
+  EXPECT_EQ(buf.inserts(), 1u);
+}
+
+TEST(PrefetchBuffer, ReinsertResidentIsNoOp) {
+  PrefetchBuffer buf(small_cfg(), make_lru());
+  buf.insert(row(0, 1));
+  const auto result = buf.insert(row(0, 1));
+  EXPECT_FALSE(result.inserted);
+  EXPECT_EQ(buf.size(), 1u);
+  EXPECT_EQ(buf.inserts(), 1u);
+}
+
+TEST(PrefetchBuffer, DistinguishesBankAndRow) {
+  PrefetchBuffer buf(small_cfg(), make_lru());
+  buf.insert(row(0, 1));
+  EXPECT_FALSE(buf.contains(row(1, 1)));
+  EXPECT_FALSE(buf.contains(row(0, 2)));
+}
+
+TEST(PrefetchBuffer, AccessHitMarksLineAndCountsUtilization) {
+  PrefetchBuffer buf(small_cfg(), make_lru());
+  buf.insert(row(0, 1));
+  EXPECT_TRUE(buf.access(row(0, 1), 3, AccessType::kRead));
+  EXPECT_TRUE(buf.access(row(0, 1), 3, AccessType::kRead));  // same line
+  EXPECT_TRUE(buf.access(row(0, 1), 5, AccessType::kRead));
+  EXPECT_EQ(buf.utilization(row(0, 1)), std::make_optional<u32>(2));
+  EXPECT_EQ(buf.hits(), 3u);
+}
+
+TEST(PrefetchBuffer, AccessMissCounts) {
+  PrefetchBuffer buf(small_cfg(), make_lru());
+  EXPECT_FALSE(buf.access(row(0, 9), 0, AccessType::kRead));
+  buf.count_miss();
+  EXPECT_EQ(buf.misses(), 2u);
+}
+
+TEST(PrefetchBuffer, RecencyStackPaperEncoding) {
+  PrefetchBuffer buf(small_cfg(4), make_lru());
+  buf.insert(row(0, 1));
+  buf.insert(row(0, 2));
+  buf.insert(row(0, 3));
+  // MRU gets entries-1 = 3.
+  EXPECT_EQ(buf.recency(row(0, 3)), std::make_optional<u32>(3));
+  EXPECT_EQ(buf.recency(row(0, 2)), std::make_optional<u32>(2));
+  EXPECT_EQ(buf.recency(row(0, 1)), std::make_optional<u32>(1));
+  // Accessing row 1 moves it to MRU; others shift down.
+  buf.access(row(0, 1), 0, AccessType::kRead);
+  EXPECT_EQ(buf.recency(row(0, 1)), std::make_optional<u32>(3));
+  EXPECT_EQ(buf.recency(row(0, 3)), std::make_optional<u32>(2));
+  EXPECT_EQ(buf.recency(row(0, 2)), std::make_optional<u32>(1));
+}
+
+TEST(PrefetchBuffer, LruEvictionOrder) {
+  PrefetchBuffer buf(small_cfg(2), make_lru());
+  buf.insert(row(0, 1));
+  buf.insert(row(0, 2));
+  const auto result = buf.insert(row(0, 3));
+  ASSERT_TRUE(result.victim.has_value());
+  EXPECT_EQ(result.victim->id, row(0, 1));
+  EXPECT_FALSE(buf.contains(row(0, 1)));
+  EXPECT_TRUE(buf.contains(row(0, 2)));
+  EXPECT_TRUE(buf.contains(row(0, 3)));
+}
+
+TEST(PrefetchBuffer, VictimReportsUsefulness) {
+  PrefetchBuffer buf(small_cfg(1), make_lru());
+  buf.insert(row(0, 1));
+  buf.access(row(0, 1), 0, AccessType::kRead);
+  auto v1 = buf.insert(row(0, 2));
+  ASSERT_TRUE(v1.victim);
+  EXPECT_TRUE(v1.victim->referenced);
+  // Row 2 never touched -> unreferenced victim.
+  auto v2 = buf.insert(row(0, 3));
+  ASSERT_TRUE(v2.victim);
+  EXPECT_FALSE(v2.victim->referenced);
+  EXPECT_EQ(buf.evicted_unreferenced(), 1u);
+}
+
+TEST(PrefetchBuffer, FillTouchDoesNotCountAsUseful) {
+  PrefetchBuffer buf(small_cfg(1), make_lru());
+  buf.insert(row(0, 1));
+  buf.access(row(0, 1), 0, AccessType::kRead, /*fill_touch=*/true);
+  const auto v = buf.insert(row(0, 2));
+  ASSERT_TRUE(v.victim);
+  EXPECT_FALSE(v.victim->referenced) << "fill touches are not prefetch wins";
+  EXPECT_EQ(buf.hits(), 0u);
+}
+
+TEST(PrefetchBuffer, DirtyTracking) {
+  PrefetchBuffer buf(small_cfg(1), make_lru());
+  buf.insert(row(0, 1));
+  buf.access(row(0, 1), 2, AccessType::kWrite);
+  const auto v = buf.insert(row(0, 2));
+  ASSERT_TRUE(v.victim);
+  EXPECT_TRUE(v.victim->dirty);
+  EXPECT_EQ(buf.dirty_writebacks(), 1u);
+}
+
+TEST(PrefetchBuffer, CleanVictimNoWriteback) {
+  PrefetchBuffer buf(small_cfg(1), make_lru());
+  buf.insert(row(0, 1));
+  buf.access(row(0, 1), 2, AccessType::kRead);
+  const auto v = buf.insert(row(0, 2));
+  ASSERT_TRUE(v.victim);
+  EXPECT_FALSE(v.victim->dirty);
+  EXPECT_EQ(buf.dirty_writebacks(), 0u);
+}
+
+TEST(PrefetchBuffer, SeedBitmapCountsForFullTransferOnly) {
+  PrefetchBuffer buf(small_cfg(2), make_utilization_recency());
+  // Row 1: 12 lines seeded + 4 accessed = fully transferred.
+  buf.insert(row(0, 1), /*seed_bitmap=*/0x0FFF);
+  for (LineId line = 12; line < 16; ++line) {
+    buf.access(row(0, 1), line, AccessType::kRead);
+  }
+  // Utilization (policy view) counts only the in-buffer accesses.
+  EXPECT_EQ(buf.utilization(row(0, 1)), std::make_optional<u32>(4));
+  buf.insert(row(0, 2));
+  buf.access(row(0, 2), 0, AccessType::kRead);
+  // Under utilization+recency the fully transferred row is the victim even
+  // though row 2 has lower utilization.
+  const auto v = buf.insert(row(0, 3));
+  ASSERT_TRUE(v.victim);
+  EXPECT_EQ(v.victim->id, row(0, 1));
+}
+
+TEST(PrefetchBuffer, UtilRecencyEvictsMinimumSum) {
+  PrefetchBuffer buf(small_cfg(3), make_utilization_recency());
+  buf.insert(row(0, 1));
+  buf.insert(row(0, 2));
+  buf.insert(row(0, 3));
+  // Touch rows 1 and 3 so row 2 has util 0 and mid recency.
+  buf.access(row(0, 1), 0, AccessType::kRead);
+  buf.access(row(0, 1), 1, AccessType::kRead);
+  buf.access(row(0, 3), 0, AccessType::kRead);
+  // recencies now: 3 (MRU, entries-1=2? capacity 3 -> MRU=2): row3=2,
+  // row1=1, row2=0. sums: row1=2+1=3, row2=0+0=0, row3=1+2=3.
+  const auto v = buf.insert(row(0, 4));
+  ASSERT_TRUE(v.victim);
+  EXPECT_EQ(v.victim->id, row(0, 2));
+}
+
+TEST(PrefetchBuffer, EvictExplicit) {
+  PrefetchBuffer buf(small_cfg(), make_lru());
+  buf.insert(row(0, 1));
+  EXPECT_TRUE(buf.evict(row(0, 1)));
+  EXPECT_FALSE(buf.contains(row(0, 1)));
+  EXPECT_FALSE(buf.evict(row(0, 1)));
+  EXPECT_EQ(buf.evictions(), 1u);
+}
+
+TEST(PrefetchBuffer, RowAccuracyMixesResidentAndEvicted) {
+  PrefetchBuffer buf(small_cfg(2), make_lru());
+  buf.insert(row(0, 1));
+  buf.access(row(0, 1), 0, AccessType::kRead);  // useful resident
+  buf.insert(row(0, 2));                        // unused resident
+  EXPECT_DOUBLE_EQ(buf.row_accuracy(), 0.5);
+  buf.insert(row(0, 3));  // evicts row 1 (useful)
+  // Now: evicted useful (1) + resident row2 unused + row3 unused = 1/3.
+  EXPECT_NEAR(buf.row_accuracy(), 1.0 / 3.0, 1e-9);
+}
+
+TEST(PrefetchBuffer, EvictionHistograms) {
+  PrefetchBuffer buf(small_cfg(1), make_lru());
+  buf.insert(row(0, 1));
+  buf.access(row(0, 1), 0, AccessType::kRead);
+  buf.access(row(0, 1), 1, AccessType::kRead);
+  buf.insert(row(0, 2));  // evicts util-2 used row
+  buf.insert(row(0, 3));  // evicts util-0 unused row
+  EXPECT_EQ(buf.evictions_by_utilization()[2], 1u);
+  EXPECT_EQ(buf.evictions_by_utilization()[0], 1u);
+  EXPECT_EQ(buf.unused_evictions_by_utilization()[0], 1u);
+  EXPECT_EQ(buf.unused_evictions_by_utilization()[2], 0u);
+}
+
+TEST(PrefetchBuffer, ResetStatsKeepsContents) {
+  PrefetchBuffer buf(small_cfg(), make_lru());
+  buf.insert(row(0, 1));
+  buf.access(row(0, 1), 0, AccessType::kRead);
+  buf.reset_stats();
+  EXPECT_EQ(buf.hits(), 0u);
+  EXPECT_EQ(buf.inserts(), 0u);
+  EXPECT_TRUE(buf.contains(row(0, 1)));
+}
+
+TEST(PrefetchBuffer, TableIConfiguration) {
+  const PrefetchBufferConfig cfg;  // defaults = Table I
+  EXPECT_EQ(cfg.entries, 16u);        // 16 KB / 1 KB rows
+  EXPECT_EQ(cfg.lines_per_row, 16u);  // 1 KB / 64 B
+  EXPECT_EQ(cfg.hit_latency, 22u);    // cycles
+}
+
+// Property: under any policy, size never exceeds capacity and contains()
+// agrees with insert/evict bookkeeping.
+class BufferChurnSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BufferChurnSweep, CapacityInvariant) {
+  auto policy = GetParam() == 0 ? make_lru() : make_utilization_recency();
+  PrefetchBuffer buf(small_cfg(8), std::move(policy));
+  u64 x = 7;
+  u64 resident_checks = 0;
+  for (int i = 0; i < 5000; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    const BankRow r{static_cast<BankId>((x >> 8) % 4), (x >> 16) % 32};
+    if ((x & 3) == 0) {
+      buf.insert(r);
+    } else {
+      if (buf.access(r, static_cast<LineId>((x >> 40) % 16),
+                     (x & 4) != 0 ? AccessType::kWrite : AccessType::kRead)) {
+        ++resident_checks;
+        EXPECT_TRUE(buf.contains(r));
+      }
+    }
+    ASSERT_LE(buf.size(), buf.capacity());
+  }
+  EXPECT_GT(resident_checks, 0u);
+  EXPECT_EQ(buf.inserts(), buf.evictions() + buf.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, BufferChurnSweep, ::testing::Values(0, 1));
+
+}  // namespace
+}  // namespace camps::prefetch

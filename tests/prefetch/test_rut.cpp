@@ -1,0 +1,89 @@
+#include "prefetch/rut.hpp"
+
+#include <gtest/gtest.h>
+
+namespace camps::prefetch {
+namespace {
+
+TEST(Rut, StartsEmpty) {
+  RowUtilizationTable rut(16);
+  EXPECT_EQ(rut.banks(), 16u);
+  for (BankId b = 0; b < 16; ++b) {
+    EXPECT_FALSE(rut.entry(b).has_value());
+  }
+}
+
+TEST(Rut, TouchCreatesWithCountOne) {
+  RowUtilizationTable rut(4);
+  EXPECT_EQ(rut.touch(0, 7), 1u);
+  const auto e = rut.entry(0);
+  ASSERT_TRUE(e);
+  EXPECT_EQ(e->row, 7u);
+  EXPECT_EQ(e->count, 1u);
+}
+
+TEST(Rut, TouchIncrementsSameRow) {
+  RowUtilizationTable rut(4);
+  rut.touch(0, 7);
+  EXPECT_EQ(rut.touch(0, 7), 2u);
+  EXPECT_EQ(rut.touch(0, 7), 3u);
+  EXPECT_EQ(rut.touch(0, 7), 4u);
+}
+
+TEST(Rut, TouchDifferentRowRestartsCount) {
+  RowUtilizationTable rut(4);
+  rut.touch(0, 7);
+  rut.touch(0, 7);
+  EXPECT_EQ(rut.touch(0, 9), 1u);
+  EXPECT_EQ(rut.entry(0)->row, 9u);
+}
+
+TEST(Rut, BanksAreIndependent) {
+  RowUtilizationTable rut(4);
+  rut.touch(0, 7);
+  rut.touch(1, 7);
+  rut.touch(1, 7);
+  EXPECT_EQ(rut.entry(0)->count, 1u);
+  EXPECT_EQ(rut.entry(1)->count, 2u);
+}
+
+TEST(Rut, DisplaceReturnsOldEntryForDifferentRow) {
+  RowUtilizationTable rut(4);
+  rut.touch(2, 5);
+  rut.touch(2, 5);
+  rut.touch(2, 5);
+  const auto displaced = rut.displace(2, 9);
+  ASSERT_TRUE(displaced);
+  EXPECT_EQ(displaced->row, 5u);
+  EXPECT_EQ(displaced->count, 3u);
+  EXPECT_FALSE(rut.entry(2).has_value());
+}
+
+TEST(Rut, DisplaceSameRowIsNoOp) {
+  RowUtilizationTable rut(4);
+  rut.touch(2, 5);
+  EXPECT_FALSE(rut.displace(2, 5).has_value());
+  EXPECT_TRUE(rut.entry(2).has_value());
+}
+
+TEST(Rut, DisplaceEmptyBankIsNoOp) {
+  RowUtilizationTable rut(4);
+  EXPECT_FALSE(rut.displace(3, 1).has_value());
+}
+
+TEST(Rut, RemoveClearsEntry) {
+  RowUtilizationTable rut(4);
+  rut.touch(1, 5);
+  rut.remove(1);
+  EXPECT_FALSE(rut.entry(1).has_value());
+}
+
+TEST(Rut, PaperHardwareOverhead) {
+  // Section 3.3: 16 entries x 20 bits per vault = 40 bytes.
+  RowUtilizationTable rut(16);
+  EXPECT_EQ(rut.overhead_bits(), 320u);
+  EXPECT_EQ(rut.overhead_bits() / 8, 40u);
+}
+
+}  // namespace
+}  // namespace camps::prefetch

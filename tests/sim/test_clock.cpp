@@ -1,0 +1,81 @@
+#include "sim/clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace camps::sim {
+namespace {
+
+TEST(Clock, TableIFrequenciesAreExact) {
+  // 3 GHz CPU: 3 cycles per ns.
+  EXPECT_EQ(cpu_clock().to_ticks(3), kTicksPerNs);
+  // 800 MHz DRAM: 4 cycles per 5 ns.
+  EXPECT_EQ(dram_clock().to_ticks(4), 5 * kTicksPerNs);
+}
+
+TEST(Clock, RoundTripCycles) {
+  ClockDomain d(30);
+  for (u64 c : {0ull, 1ull, 7ull, 1000ull}) {
+    EXPECT_EQ(d.to_cycles(d.to_ticks(c)), c);
+  }
+}
+
+TEST(Clock, ToCyclesTruncates) {
+  ClockDomain d(30);
+  EXPECT_EQ(d.to_cycles(29), 0u);
+  EXPECT_EQ(d.to_cycles(30), 1u);
+  EXPECT_EQ(d.to_cycles(59), 1u);
+}
+
+TEST(Clock, NextEdgeOnEdgeIsIdentity) {
+  ClockDomain d(8);
+  EXPECT_EQ(d.next_edge(0), 0u);
+  EXPECT_EQ(d.next_edge(16), 16u);
+}
+
+TEST(Clock, NextEdgeRoundsUp) {
+  ClockDomain d(8);
+  EXPECT_EQ(d.next_edge(1), 8u);
+  EXPECT_EQ(d.next_edge(7), 8u);
+  EXPECT_EQ(d.next_edge(9), 16u);
+}
+
+TEST(Clock, EdgeAfterIsStrictlyLater) {
+  ClockDomain d(8);
+  EXPECT_EQ(d.edge_after(0), 8u);
+  EXPECT_EQ(d.edge_after(8), 16u);
+  EXPECT_EQ(d.edge_after(15), 16u);
+}
+
+TEST(Clock, CpuDramPhaseAlignment) {
+  // CPU and DRAM clocks share an edge every LCM(8, 30) = 120 ticks = 5 ns.
+  const ClockDomain cpu = cpu_clock();
+  const ClockDomain dram = dram_clock();
+  u64 shared = 0;
+  for (Tick t = 1; t <= 240; ++t) {
+    if (cpu.next_edge(t) == t && dram.next_edge(t) == t) {
+      ++shared;
+      EXPECT_EQ(t % 120, 0u);
+    }
+  }
+  EXPECT_EQ(shared, 2u);  // t = 120, 240
+}
+
+// Property sweep over several domains: next_edge is the smallest multiple
+// of the period that is >= t.
+class ClockEdgeSweep : public ::testing::TestWithParam<u64> {};
+
+TEST_P(ClockEdgeSweep, NextEdgeMinimal) {
+  const ClockDomain d(GetParam());
+  for (Tick t = 0; t < 5 * GetParam(); ++t) {
+    const Tick e = d.next_edge(t);
+    EXPECT_GE(e, t);
+    EXPECT_EQ(e % GetParam(), 0u);
+    EXPECT_LT(e - t, GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, ClockEdgeSweep,
+                         ::testing::Values(1, 2, 3, 8, 24, 30));
+
+}  // namespace
+}  // namespace camps::sim

@@ -1,0 +1,94 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace camps::sim {
+namespace {
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    q.schedule(100, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(EventQueue, InterleavedTiesStillFifoPerTime) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(5, [&] { order.push_back(50); });
+  q.schedule(1, [&] { order.push_back(10); });
+  q.schedule(5, [&] { order.push_back(51); });
+  q.schedule(1, [&] { order.push_back(11); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{10, 11, 50, 51}));
+}
+
+TEST(EventQueue, NextTimeReportsEarliest) {
+  EventQueue q;
+  q.schedule(42, [] {});
+  q.schedule(7, [] {});
+  EXPECT_EQ(q.next_time(), 7u);
+}
+
+TEST(EventQueue, PopReturnsTime) {
+  EventQueue q;
+  q.schedule(9, [] {});
+  auto [when, fn] = q.pop();
+  EXPECT_EQ(when, 9u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ScheduledCountMonotone) {
+  EventQueue q;
+  q.schedule(1, [] {});
+  q.schedule(2, [] {});
+  q.pop();
+  EXPECT_EQ(q.scheduled_count(), 2u);
+}
+
+TEST(EventQueue, ClearDropsEvents) {
+  EventQueue q;
+  q.schedule(1, [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, LargeRandomLoadStaysSorted) {
+  EventQueue q;
+  // Insert pseudo-random times; verify nondecreasing pops.
+  u64 x = 12345;
+  for (int i = 0; i < 5000; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    q.schedule(x >> 40, [] {});
+  }
+  Tick prev = 0;
+  while (!q.empty()) {
+    auto [when, fn] = q.pop();
+    EXPECT_GE(when, prev);
+    prev = when;
+  }
+}
+
+}  // namespace
+}  // namespace camps::sim

@@ -1,0 +1,115 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace camps::sim {
+namespace {
+
+TEST(Simulator, NowStartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0u);
+}
+
+TEST(Simulator, ScheduleRelativeAdvancesNow) {
+  Simulator sim;
+  Tick seen = 0;
+  sim.schedule(25, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, 25u);
+  EXPECT_EQ(sim.now(), 25u);
+}
+
+TEST(Simulator, NestedSchedulingFromHandlers) {
+  Simulator sim;
+  std::vector<Tick> times;
+  sim.schedule(10, [&] {
+    times.push_back(sim.now());
+    sim.schedule(5, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<Tick>{10, 15}));
+}
+
+TEST(Simulator, RunReturnsEventCount) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.schedule(i, [] {});
+  EXPECT_EQ(sim.run(), 5u);
+  EXPECT_EQ(sim.events_executed(), 5u);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(10, [&] { ++fired; });
+  sim.schedule(20, [&] { ++fired; });
+  sim.schedule(30, [&] { ++fired; });
+  sim.run_until(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 20u);
+  sim.run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.now(), 30u);
+}
+
+TEST(Simulator, RunUntilAdvancesNowOnEmptyQueue) {
+  Simulator sim;
+  sim.run_until(99);
+  EXPECT_EQ(sim.now(), 99u);
+}
+
+TEST(Simulator, StepExecutesOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1, [&] { ++fired; });
+  sim.schedule(2, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, RunWhilePendingStopsOnPredicate) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) sim.schedule(i, [&] { ++count; });
+  const bool fired = sim.run_while_pending([&] { return count == 4; });
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(count, 4);
+  EXPECT_EQ(sim.now(), 4u);
+}
+
+TEST(Simulator, RunWhilePendingDrainsIfPredicateNeverFires) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 3; ++i) sim.schedule(i, [&] { ++count; });
+  const bool fired = sim.run_while_pending([&] { return false; });
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, ScheduleAtAbsolute) {
+  Simulator sim;
+  Tick seen = 0;
+  sim.schedule_at(100, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, 100u);
+}
+
+TEST(Simulator, ZeroDelayRunsAtCurrentTime) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(10, [&] {
+    order.push_back(1);
+    sim.schedule(0, [&] { order.push_back(2); });
+  });
+  sim.schedule(10, [&] { order.push_back(3); });
+  sim.run();
+  // The zero-delay event was scheduled after event 3 at the same tick.
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+  EXPECT_EQ(sim.now(), 10u);
+}
+
+}  // namespace
+}  // namespace camps::sim

@@ -1,0 +1,92 @@
+#include "system/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace camps::system {
+namespace {
+
+TEST(SystemConfig, TableIDefaults) {
+  const SystemConfig cfg = table1_config();
+  EXPECT_EQ(cfg.cores, 8u);
+  EXPECT_EQ(cfg.core.issue_width, 4u);
+  EXPECT_EQ(cfg.caches.l1.size_bytes, 32u * 1024);
+  EXPECT_EQ(cfg.caches.l1.ways, 2u);
+  EXPECT_EQ(cfg.caches.l2.size_bytes, 256u * 1024);
+  EXPECT_EQ(cfg.caches.l2.ways, 4u);
+  EXPECT_EQ(cfg.caches.l3.size_bytes, 16u * 1024 * 1024);
+  EXPECT_EQ(cfg.caches.l3.ways, 16u);
+  EXPECT_EQ(cfg.caches.l3.line_bytes, 64u);
+  EXPECT_EQ(cfg.hmc.geometry.vaults, 32u);
+  EXPECT_EQ(cfg.hmc.geometry.banks_per_vault, 16u);
+  EXPECT_EQ(cfg.hmc.geometry.row_bytes, 1024u);
+  EXPECT_EQ(cfg.hmc.vault.read_queue, 32u);
+  EXPECT_EQ(cfg.hmc.vault.write_queue, 32u);
+  EXPECT_EQ(cfg.hmc.num_links, 4u);
+  EXPECT_EQ(cfg.hmc.vault.buffer.entries, 16u);
+  EXPECT_EQ(cfg.hmc.vault.buffer.hit_latency, 22u);
+  EXPECT_EQ(cfg.hmc.vault.timing.tRCD, 11u);
+  EXPECT_EQ(cfg.scheme, prefetch::SchemeKind::kCampsMod);
+}
+
+TEST(SystemConfig, SchemeParameterPropagates) {
+  EXPECT_EQ(table1_config(prefetch::SchemeKind::kBase).scheme,
+            prefetch::SchemeKind::kBase);
+}
+
+TEST(SystemConfig, PatternGeometryMatchesAddressMap) {
+  const SystemConfig cfg = table1_config();
+  const auto g = cfg.pattern_geometry();
+  EXPECT_EQ(g.line_bytes, 64u);
+  EXPECT_EQ(g.row_bytes, 1024u);
+  EXPECT_EQ(g.same_bank_row_stride, u64{1} << 19);
+}
+
+TEST(SystemConfig, CoreSliceDividesCapacity) {
+  const SystemConfig cfg = table1_config();
+  EXPECT_EQ(cfg.core_slice_bytes(), (u64{8} << 30) / 8);
+}
+
+TEST(SystemConfig, OverridesApply) {
+  auto cfg = ConfigFile::parse(
+      "cores = 4\n"
+      "seed = 99\n"
+      "core.issue_width = 2\n"
+      "core.warmup = 1000\n"
+      "core.measure = 5000\n"
+      "hmc.vaults = 16\n"
+      "buffer.entries = 8\n"
+      "camps.threshold = 6\n"
+      "scheme = MMD\n");
+  const SystemConfig out = apply_overrides(table1_config(), cfg);
+  EXPECT_EQ(out.cores, 4u);
+  EXPECT_EQ(out.seed, 99u);
+  EXPECT_EQ(out.core.issue_width, 2u);
+  EXPECT_EQ(out.core.warmup_instructions, 1000u);
+  EXPECT_EQ(out.core.measure_instructions, 5000u);
+  EXPECT_EQ(out.hmc.geometry.vaults, 16u);
+  EXPECT_EQ(out.hmc.vault.buffer.entries, 8u);
+  EXPECT_EQ(out.scheme_params.camps.utilization_threshold, 6u);
+  EXPECT_EQ(out.scheme, prefetch::SchemeKind::kMmd);
+}
+
+TEST(SystemConfig, OverridesKeepDefaultsWhenAbsent) {
+  const SystemConfig out =
+      apply_overrides(table1_config(), ConfigFile::parse(""));
+  EXPECT_EQ(out.cores, 8u);
+  EXPECT_EQ(out.scheme, prefetch::SchemeKind::kCampsMod);
+}
+
+TEST(SystemConfig, BankOverrideKeepsVaultConsistent) {
+  auto cfg = ConfigFile::parse("hmc.banks = 8\n");
+  const SystemConfig out = apply_overrides(table1_config(), cfg);
+  EXPECT_EQ(out.hmc.geometry.banks_per_vault, 8u);
+  EXPECT_EQ(out.hmc.vault.banks, 8u);
+}
+
+TEST(SystemConfig, BadSchemeNameThrows) {
+  auto cfg = ConfigFile::parse("scheme = turbo\n");
+  EXPECT_THROW(apply_overrides(table1_config(), cfg), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace camps::system

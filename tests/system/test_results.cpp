@@ -1,0 +1,53 @@
+#include "system/results.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace camps::system {
+namespace {
+
+TEST(GeometricMean, Basics) {
+  EXPECT_DOUBLE_EQ(geometric_mean({4.0}), 4.0);
+  EXPECT_NEAR(geometric_mean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(geometric_mean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(GeometricMean, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(geometric_mean({}), 0.0);
+}
+
+TEST(GeometricMean, NonPositiveElementYieldsZero) {
+  EXPECT_DOUBLE_EQ(geometric_mean({1.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(geometric_mean({1.0, -2.0}), 0.0);
+}
+
+TEST(GeometricMean, BelowArithmeticMean) {
+  const std::vector<double> v{0.5, 1.0, 2.0, 8.0};
+  double arith = 0;
+  for (double x : v) arith += x;
+  arith /= static_cast<double>(v.size());
+  EXPECT_LT(geometric_mean(v), arith);
+}
+
+TEST(RunResults, SummaryContainsHeadlines) {
+  RunResults r;
+  r.scheme = "CAMPS-MOD";
+  r.geomean_ipc = 1.25;
+  r.row_conflict_rate = 0.33;
+  r.prefetch_accuracy = 0.705;
+  const std::string s = r.summary();
+  EXPECT_NE(s.find("CAMPS-MOD"), std::string::npos);
+  EXPECT_NE(s.find("1.25"), std::string::npos);
+  EXPECT_NE(s.find("70.5"), std::string::npos);
+}
+
+TEST(RunResults, PartialFlagVisible) {
+  RunResults r;
+  r.scheme = "BASE";
+  r.partial = true;
+  EXPECT_NE(r.summary().find("PARTIAL"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace camps::system

@@ -1,0 +1,152 @@
+#include "trace/spec_profiles.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace camps::trace {
+namespace {
+
+TEST(SpecProfiles, FifteenBenchmarks) {
+  EXPECT_EQ(all_benchmarks().size(), 15u);
+}
+
+TEST(SpecProfiles, EightHighSevenLow) {
+  size_t hm = 0, lm = 0;
+  for (const auto& b : all_benchmarks()) {
+    (b.mem_class == MemClass::kHigh ? hm : lm)++;
+  }
+  EXPECT_EQ(hm, 8u);
+  EXPECT_EQ(lm, 7u);
+}
+
+TEST(SpecProfiles, NamesUniqueAndLookupWorks) {
+  std::set<std::string> names;
+  for (const auto& b : all_benchmarks()) {
+    EXPECT_TRUE(names.insert(b.name).second) << "duplicate: " << b.name;
+    EXPECT_EQ(&benchmark(b.name), &b);
+  }
+}
+
+TEST(SpecProfiles, UnknownNameThrows) {
+  EXPECT_THROW(benchmark("povray"), std::out_of_range);
+}
+
+TEST(SpecProfiles, PaperBenchmarksPresentWithClass) {
+  // Classification implied by Table II's set membership.
+  for (const char* name :
+       {"bwaves", "gems", "gcc", "lbm", "milc", "sphinx", "omnetpp", "mcf"}) {
+    EXPECT_EQ(benchmark(name).mem_class, MemClass::kHigh) << name;
+  }
+  for (const char* name :
+       {"cactus", "bzip2", "astar", "wrf", "tonto", "zeusmp", "h264ref"}) {
+    EXPECT_EQ(benchmark(name).mem_class, MemClass::kLow) << name;
+  }
+}
+
+class AllProfilesSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(AllProfilesSweep, SourceIsDeterministicAndWellFormed) {
+  const auto& profile = all_benchmarks()[GetParam()];
+  const PatternGeometry g;
+  auto src = profile.make_source(42, g);
+  const auto recs = collect(*src, 3000);
+  ASSERT_EQ(recs.size(), 3000u) << "profiles are infinite sources";
+  for (const auto& r : recs) {
+    EXPECT_EQ(r.addr % g.line_bytes, 0u);
+  }
+  auto src2 = profile.make_source(42, g);
+  EXPECT_EQ(collect(*src2, 3000), recs);
+  src->reset();
+  EXPECT_EQ(collect(*src, 3000), recs);
+}
+
+TEST_P(AllProfilesSweep, SeedsDecorrelateInstances) {
+  const auto& profile = all_benchmarks()[GetParam()];
+  const PatternGeometry g;
+  auto a = profile.make_source(1, g);
+  auto b = profile.make_source(2, g);
+  const auto ra = collect(*a, 500), rb = collect(*b, 500);
+  EXPECT_NE(ra, rb);
+}
+
+TEST_P(AllProfilesSweep, MemoryAccessesReachLargeRegions) {
+  // Every profile must send part of its traffic beyond the friendly region
+  // (>= 1 GiB offset), otherwise it could never miss the L3.
+  const auto& profile = all_benchmarks()[GetParam()];
+  auto src = profile.make_source(7, PatternGeometry{});
+  const auto recs = collect(*src, 20000);
+  size_t far = 0;
+  for (const auto& r : recs) {
+    if (r.addr >= (u64{1} << 30)) ++far;
+  }
+  EXPECT_GT(far, 100u) << profile.name;
+  EXPECT_LT(far, recs.size()) << profile.name << " must also have hot traffic";
+}
+
+TEST_P(AllProfilesSweep, HighClassHasMoreFarTrafficThanLow) {
+  // Cross-check the APKI-times-weight structure: HM profiles put a larger
+  // fraction of accesses into memory regions than LM profiles.
+  const auto& profile = all_benchmarks()[GetParam()];
+  auto src = profile.make_source(11, PatternGeometry{});
+  const auto recs = collect(*src, 30000);
+  size_t far = 0;
+  for (const auto& r : recs) {
+    if (r.addr >= (u64{1} << 30)) ++far;
+  }
+  const double frac = static_cast<double>(far) / static_cast<double>(recs.size());
+  if (profile.mem_class == MemClass::kHigh) {
+    EXPECT_GT(frac, 0.10) << profile.name;
+  } else {
+    EXPECT_LT(frac, 0.08) << profile.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, AllProfilesSweep, ::testing::Range<size_t>(0, 15));
+
+TEST(SpecProfiles, WriteRatiosFollowCharacterization) {
+  // lbm is documented as write-heavy (45%) and h264ref write-leaning
+  // (35%); mcf and milc are read-dominated (20%).
+  auto write_fraction = [](const char* name) {
+    auto src = trace::benchmark(name).make_source(3, PatternGeometry{});
+    const auto recs = collect(*src, 30000);
+    const auto s = summarize(recs);
+    return static_cast<double>(s.writes) / static_cast<double>(s.records);
+  };
+  EXPECT_NEAR(write_fraction("lbm"), 0.45, 0.03);
+  EXPECT_NEAR(write_fraction("h264ref"), 0.35, 0.03);
+  EXPECT_NEAR(write_fraction("mcf"), 0.20, 0.03);
+  EXPECT_NEAR(write_fraction("milc"), 0.20, 0.03);
+  EXPECT_GT(write_fraction("lbm"), write_fraction("mcf") + 0.15);
+}
+
+TEST(SpecProfiles, StreamingProfilesHaveLongerRuns) {
+  // Sequential-step fraction in the far-memory region: lbm (streaming)
+  // must exceed mcf (pointer chasing) by a wide margin.
+  auto seq_fraction = [](const char* name) {
+    auto src = trace::benchmark(name).make_source(5, PatternGeometry{});
+    const auto recs = collect(*src, 60000);
+    u64 far_steps = 0, far_seq = 0;
+    Addr prev = 0;
+    bool have_prev = false;
+    for (const auto& r : recs) {
+      if (r.addr < (u64{1} << 30)) {
+        have_prev = false;
+        continue;
+      }
+      if (have_prev) {
+        ++far_steps;
+        if (r.addr == prev + 64) ++far_seq;
+      }
+      prev = r.addr;
+      have_prev = true;
+    }
+    return far_steps == 0 ? 0.0
+                          : static_cast<double>(far_seq) /
+                                static_cast<double>(far_steps);
+  };
+  EXPECT_GT(seq_fraction("lbm"), seq_fraction("mcf") + 0.3);
+}
+
+}  // namespace
+}  // namespace camps::trace

@@ -1,0 +1,78 @@
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace camps::trace {
+namespace {
+
+std::vector<TraceRecord> sample_records() {
+  return {
+      {2, 0x1000, AccessType::kRead},
+      {0, 0x1040, AccessType::kWrite},
+      {5, 0x1000, AccessType::kRead},
+  };
+}
+
+TEST(VectorTraceSource, ReplaysInOrder) {
+  VectorTraceSource src(sample_records());
+  auto a = src.next();
+  auto b = src.next();
+  auto c = src.next();
+  ASSERT_TRUE(a && b && c);
+  EXPECT_EQ(a->addr, 0x1000u);
+  EXPECT_EQ(b->type, AccessType::kWrite);
+  EXPECT_EQ(c->gap, 5u);
+  EXPECT_FALSE(src.next().has_value());
+}
+
+TEST(VectorTraceSource, ResetRewinds) {
+  VectorTraceSource src(sample_records());
+  src.next();
+  src.next();
+  src.reset();
+  auto a = src.next();
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->addr, 0x1000u);
+}
+
+TEST(VectorTraceSource, EmptyTraceEndsImmediately) {
+  VectorTraceSource src({});
+  EXPECT_FALSE(src.next().has_value());
+}
+
+TEST(Collect, StopsAtMaxOrEnd) {
+  VectorTraceSource src(sample_records());
+  EXPECT_EQ(collect(src, 2).size(), 2u);
+  src.reset();
+  EXPECT_EQ(collect(src, 100).size(), 3u);
+}
+
+TEST(Summarize, CountsEverything) {
+  const auto s = summarize(sample_records());
+  EXPECT_EQ(s.records, 3u);
+  EXPECT_EQ(s.reads, 2u);
+  EXPECT_EQ(s.writes, 1u);
+  // instructions = gaps (2+0+5) + 3 accesses = 10
+  EXPECT_EQ(s.instructions, 10u);
+  // 0x1000 and 0x1040 are distinct 64 B lines; the third repeats the first.
+  EXPECT_EQ(s.distinct_lines, 2u);
+  EXPECT_DOUBLE_EQ(s.accesses_per_kilo_instr, 300.0);
+}
+
+TEST(Summarize, EmptyIsAllZero) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.records, 0u);
+  EXPECT_EQ(s.instructions, 0u);
+  EXPECT_DOUBLE_EQ(s.accesses_per_kilo_instr, 0.0);
+}
+
+TEST(TraceRecord, EqualityCoversAllFields) {
+  const TraceRecord a{1, 0x40, AccessType::kRead};
+  EXPECT_EQ(a, (TraceRecord{1, 0x40, AccessType::kRead}));
+  EXPECT_NE(a, (TraceRecord{2, 0x40, AccessType::kRead}));
+  EXPECT_NE(a, (TraceRecord{1, 0x80, AccessType::kRead}));
+  EXPECT_NE(a, (TraceRecord{1, 0x40, AccessType::kWrite}));
+}
+
+}  // namespace
+}  // namespace camps::trace

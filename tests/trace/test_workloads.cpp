@@ -1,0 +1,102 @@
+#include "workload/workloads.hpp"
+
+#include <gtest/gtest.h>
+
+namespace camps::workload {
+namespace {
+
+TEST(Workloads, TwelveWorkloadsInPaperOrder) {
+  const auto& all = table2_workloads();
+  ASSERT_EQ(all.size(), 12u);
+  const char* expected[] = {"HM1", "HM2", "HM3", "HM4", "LM1", "LM2",
+                            "LM3", "LM4", "MX1", "MX2", "MX3", "MX4"};
+  for (size_t i = 0; i < 12; ++i) EXPECT_EQ(all[i].id, expected[i]);
+}
+
+TEST(Workloads, LookupAndUnknownThrows) {
+  EXPECT_EQ(workload("HM3").id, "HM3");
+  EXPECT_THROW(workload("HM9"), std::out_of_range);
+}
+
+TEST(Workloads, ClassesMatchPrefix) {
+  for (const auto& w : table2_workloads()) {
+    if (w.id.starts_with("HM")) {
+      EXPECT_EQ(w.cls, WorkloadClass::kHM);
+    }
+    if (w.id.starts_with("LM")) {
+      EXPECT_EQ(w.cls, WorkloadClass::kLM);
+    }
+    if (w.id.starts_with("MX")) {
+      EXPECT_EQ(w.cls, WorkloadClass::kMX);
+    }
+  }
+}
+
+TEST(Workloads, HmWorkloadsUseOnlyHighBenchmarks) {
+  for (const auto& w : table2_workloads()) {
+    if (w.cls != WorkloadClass::kHM) continue;
+    for (const auto& name : w.benchmarks) {
+      EXPECT_EQ(trace::benchmark(name).mem_class, trace::MemClass::kHigh)
+          << w.id << "/" << name;
+    }
+  }
+}
+
+TEST(Workloads, LmWorkloadsUseOnlyLowBenchmarks) {
+  for (const auto& w : table2_workloads()) {
+    if (w.cls != WorkloadClass::kLM) continue;
+    for (const auto& name : w.benchmarks) {
+      EXPECT_EQ(trace::benchmark(name).mem_class, trace::MemClass::kLow)
+          << w.id << "/" << name;
+    }
+  }
+}
+
+TEST(Workloads, MxWorkloadsMixFourAndFour) {
+  for (const auto& w : table2_workloads()) {
+    if (w.cls != WorkloadClass::kMX) continue;
+    int hm = 0, lm = 0;
+    for (const auto& name : w.benchmarks) {
+      (trace::benchmark(name).mem_class == trace::MemClass::kHigh ? hm : lm)++;
+    }
+    EXPECT_EQ(hm, 4) << w.id;
+    EXPECT_EQ(lm, 4) << w.id;
+  }
+}
+
+TEST(Workloads, Table2FirstRowVerbatim) {
+  const auto& hm1 = workload("HM1");
+  const std::array<std::string, 8> want = {"bwaves", "gems", "gcc", "lbm",
+                                           "bwaves", "gcc", "lbm", "gems"};
+  EXPECT_EQ(hm1.benchmarks, want);
+}
+
+TEST(Workloads, MakeSourcesGivesEightDistinctStreams) {
+  const auto& hm1 = workload("HM1");
+  auto sources = hm1.make_sources(1, trace::PatternGeometry{});
+  ASSERT_EQ(sources.size(), 8u);
+  // Cores 0 and 4 both run bwaves but must not produce identical streams.
+  const auto a = trace::collect(*sources[0], 300);
+  const auto b = trace::collect(*sources[4], 300);
+  EXPECT_NE(a, b);
+}
+
+TEST(Workloads, MakeSourcesDeterministicPerSeed) {
+  const auto& mx2 = workload("MX2");
+  auto s1 = mx2.make_sources(9, trace::PatternGeometry{});
+  auto s2 = mx2.make_sources(9, trace::PatternGeometry{});
+  for (size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(trace::collect(*s1[i], 200), trace::collect(*s2[i], 200));
+  }
+}
+
+TEST(Workloads, EveryBenchmarkNameResolves) {
+  for (const auto& w : table2_workloads()) {
+    for (const auto& name : w.benchmarks) {
+      EXPECT_NO_THROW(trace::benchmark(name)) << w.id << "/" << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace camps::workload

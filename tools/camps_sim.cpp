@@ -1,0 +1,127 @@
+// camps_sim — command-line front end for the CAMPS simulation stack.
+//
+// Runs one (workload, scheme) simulation of the Table I system and prints
+// the results summary; optionally dumps the full per-vault statistics
+// registry. All Table I parameters can be overridden from an INI config
+// file (see configs/table1.ini for the recognized keys).
+//
+// Usage:
+//   camps_sim [options]
+//     --workload=ID      Table II workload (default MX1)
+//     --scheme=NAME      NONE|BASE|BASE-HIT|MMD|CAMPS|CAMPS-MOD
+//     --config=FILE      INI file with system overrides
+//     --warmup=N         warmup instructions per core
+//     --measure=N        measured instructions per core
+//     --seed=N           workload seed
+//     --stats            dump the full statistics registry
+//     --energy           dump the energy event breakdown
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "system/system.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--workload=ID] [--scheme=NAME] [--config=FILE]\n"
+               "          [--warmup=N] [--measure=N] [--seed=N] [--stats] "
+               "[--energy]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace camps;
+
+  std::string workload = "MX1";
+  std::string config_path;
+  bool dump_stats = false;
+  bool dump_energy = false;
+  system::SystemConfig cfg = system::table1_config();
+  cfg.core.warmup_instructions = 100'000;
+  cfg.core.measure_instructions = 500'000;
+
+  std::string scheme_override;
+  u64 warmup = 0, measure = 0, seed = 0;
+  bool have_warmup = false, have_measure = false, have_seed = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      return arg.c_str() + std::strlen(prefix);
+    };
+    if (arg.rfind("--workload=", 0) == 0) {
+      workload = value("--workload=");
+    } else if (arg.rfind("--scheme=", 0) == 0) {
+      scheme_override = value("--scheme=");
+    } else if (arg.rfind("--config=", 0) == 0) {
+      config_path = value("--config=");
+    } else if (arg.rfind("--warmup=", 0) == 0) {
+      warmup = std::strtoull(value("--warmup="), nullptr, 10);
+      have_warmup = true;
+    } else if (arg.rfind("--measure=", 0) == 0) {
+      measure = std::strtoull(value("--measure="), nullptr, 10);
+      have_measure = true;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(value("--seed="), nullptr, 10);
+      have_seed = true;
+    } else if (arg == "--stats") {
+      dump_stats = true;
+    } else if (arg == "--energy") {
+      dump_energy = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  try {
+    if (!config_path.empty()) {
+      cfg = system::apply_overrides(cfg, ConfigFile::load(config_path));
+    }
+    // Command-line flags win over the config file.
+    if (!scheme_override.empty()) {
+      cfg.scheme = prefetch::scheme_from_string(scheme_override);
+    }
+    if (have_warmup) cfg.core.warmup_instructions = warmup;
+    if (have_measure) cfg.core.measure_instructions = measure;
+    if (have_seed) cfg.seed = seed;
+
+    std::printf("camps_sim: workload %s, scheme %s, %llu+%llu instr/core, "
+                "seed %llu\n\n",
+                workload.c_str(), prefetch::to_string(cfg.scheme),
+                static_cast<unsigned long long>(cfg.core.warmup_instructions),
+                static_cast<unsigned long long>(cfg.core.measure_instructions),
+                static_cast<unsigned long long>(cfg.seed));
+
+    auto sys = system::make_workload_system(cfg, workload);
+    const auto results = sys->run();
+    std::printf("%s", results.summary().c_str());
+
+    std::printf("\nper-core IPC:");
+    for (size_t c = 0; c < results.cores.size(); ++c) {
+      std::printf(" %.3f", results.cores[c].ipc);
+    }
+    std::printf("\n");
+
+    if (dump_energy) {
+      std::printf("\n--- energy breakdown ---\n%s",
+                  sys->memory().device().energy().breakdown().c_str());
+    }
+    if (dump_stats) {
+      std::printf("\n--- statistics registry ---\n%s",
+                  sys->stats().dump().c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
