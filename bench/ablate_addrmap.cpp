@@ -22,17 +22,23 @@ int main(int argc, char** argv) {
   };
 
   const std::string workload = "MX2";
-  exp::Table table({"mapping", "NONE IPC", "CAMPS-MOD IPC", "speedup",
-                    "conflict rate", "pf accuracy"});
+  std::vector<std::pair<system::SystemConfig, std::string>> sims;
   for (const auto& m : maps) {
     auto none_cfg = cfg.system_config(prefetch::SchemeKind::kNone);
     none_cfg.hmc.field_order = m.order;
-    const auto none = system::make_workload_system(none_cfg, workload)->run();
-
+    sims.emplace_back(none_cfg, workload);
     auto cmod_cfg = cfg.system_config(prefetch::SchemeKind::kCampsMod);
     cmod_cfg.hmc.field_order = m.order;
-    const auto cmod = system::make_workload_system(cmod_cfg, workload)->run();
+    sims.emplace_back(cmod_cfg, workload);
+  }
+  const auto results = bench::run_sims(cfg, sims);
 
+  exp::Table table({"mapping", "NONE IPC", "CAMPS-MOD IPC", "speedup",
+                    "conflict rate", "pf accuracy"});
+  size_t next = 0;
+  for (const auto& m : maps) {
+    const auto& none = results[next++];
+    const auto& cmod = results[next++];
     table.add_row({m.name, exp::Table::fmt(none.geomean_ipc),
                    exp::Table::fmt(cmod.geomean_ipc),
                    exp::Table::fmt(cmod.geomean_ipc / none.geomean_ipc),

@@ -11,17 +11,23 @@ int main(int argc, char** argv) {
                       "paper uses >= 2 read-queue hits (Section 5)", cfg);
 
   const std::string workload = "HM2";
-  auto base_cfg = cfg.system_config(prefetch::SchemeKind::kBase);
-  const double base_ipc =
-      system::make_workload_system(base_cfg, workload)->run().geomean_ipc;
+  const std::vector<u32> triggers = {2, 3, 4, 6, 8};
+
+  std::vector<std::pair<system::SystemConfig, std::string>> sims;
+  sims.emplace_back(cfg.system_config(prefetch::SchemeKind::kBase), workload);
+  for (u32 trigger : triggers) {
+    auto sys_cfg = cfg.system_config(prefetch::SchemeKind::kBaseHit);
+    sys_cfg.scheme_params.base_hit_min_hits = trigger;
+    sims.emplace_back(sys_cfg, workload);
+  }
+  const auto results = bench::run_sims(cfg, sims);
+  const double base_ipc = results[0].geomean_ipc;
 
   exp::Table table(
       {"min hits", "speedup vs BASE", "prefetches", "accuracy", "buffer hits"});
-  for (u32 trigger : {2u, 3u, 4u, 6u, 8u}) {
-    auto sys_cfg = cfg.system_config(prefetch::SchemeKind::kBaseHit);
-    sys_cfg.scheme_params.base_hit_min_hits = trigger;
-    const auto r = system::make_workload_system(sys_cfg, workload)->run();
-    table.add_row({std::to_string(trigger),
+  for (size_t i = 0; i < triggers.size(); ++i) {
+    const auto& r = results[i + 1];
+    table.add_row({std::to_string(triggers[i]),
                    exp::Table::fmt(r.geomean_ipc / base_ipc),
                    std::to_string(r.prefetches),
                    exp::Table::pct(r.prefetch_accuracy),

@@ -11,21 +11,31 @@ int main(int argc, char** argv) {
                       "paper fixes 16 x 1 KB (Table I)", cfg);
 
   const std::string workload = "MX2";
-  auto base_cfg = cfg.system_config(prefetch::SchemeKind::kBase);
-  const double base_ipc =
-      system::make_workload_system(base_cfg, workload)->run().geomean_ipc;
+  const std::vector<u32> sizes = {4, 8, 16, 32, 64};
+  const std::vector<prefetch::SchemeKind> schemes = {
+      prefetch::SchemeKind::kCamps, prefetch::SchemeKind::kCampsMod};
+
+  std::vector<std::pair<system::SystemConfig, std::string>> sims;
+  sims.emplace_back(cfg.system_config(prefetch::SchemeKind::kBase), workload);
+  for (u32 entries : sizes) {
+    for (auto scheme : schemes) {
+      auto sys_cfg = cfg.system_config(scheme);
+      sys_cfg.hmc.vault.buffer.entries = entries;
+      sims.emplace_back(sys_cfg, workload);
+    }
+  }
+  const auto results = bench::run_sims(cfg, sims);
+  const double base_ipc = results[0].geomean_ipc;
 
   exp::Table table({"entries", "CAMPS speedup", "CAMPS-MOD speedup",
                     "CAMPS-MOD buffer hits", "CAMPS-MOD accuracy"});
-  for (u32 entries : {4u, 8u, 16u, 32u, 64u}) {
+  size_t next = 1;
+  for (u32 entries : sizes) {
     std::vector<std::string> row{std::to_string(entries)};
     u64 hits = 0;
     double acc = 0.0;
-    for (auto scheme :
-         {prefetch::SchemeKind::kCamps, prefetch::SchemeKind::kCampsMod}) {
-      auto sys_cfg = cfg.system_config(scheme);
-      sys_cfg.hmc.vault.buffer.entries = entries;
-      const auto r = system::make_workload_system(sys_cfg, workload)->run();
+    for (auto scheme : schemes) {
+      const auto& r = results[next++];
       row.push_back(exp::Table::fmt(r.geomean_ipc / base_ipc));
       if (scheme == prefetch::SchemeKind::kCampsMod) {
         hits = r.buffer_hits;

@@ -12,21 +12,34 @@ int main(int argc, char** argv) {
                       "paper fixes 32 entries (Section 3.1)", cfg);
 
   const std::vector<std::string> workloads = {"HM3", "MX1"};
-  std::map<std::string, double> base_ipc;
+  const std::vector<u32> sizes = {4, 8, 16, 32, 64, 128};
+
+  std::vector<std::pair<system::SystemConfig, std::string>> sims;
   for (const auto& w : workloads) {
-    auto sys_cfg = cfg.system_config(prefetch::SchemeKind::kBase);
-    base_ipc[w] = system::make_workload_system(sys_cfg, w)->run().geomean_ipc;
+    sims.emplace_back(cfg.system_config(prefetch::SchemeKind::kBase), w);
+  }
+  for (u32 entries : sizes) {
+    for (const auto& w : workloads) {
+      auto sys_cfg = cfg.system_config(prefetch::SchemeKind::kCampsMod);
+      sys_cfg.scheme_params.camps.conflict_entries = entries;
+      sims.emplace_back(sys_cfg, w);
+    }
+  }
+  const auto results = bench::run_sims(cfg, sims);
+
+  std::map<std::string, double> base_ipc;
+  for (size_t i = 0; i < workloads.size(); ++i) {
+    base_ipc[workloads[i]] = results[i].geomean_ipc;
   }
 
   exp::Table table({"CT entries", "HM3 speedup", "MX1 speedup",
                     "conflict rate (HM3)"});
-  for (u32 entries : {4u, 8u, 16u, 32u, 64u, 128u}) {
+  size_t next = workloads.size();
+  for (u32 entries : sizes) {
     std::vector<std::string> row{std::to_string(entries)};
     double conflict_rate = 0.0;
     for (const auto& w : workloads) {
-      auto sys_cfg = cfg.system_config(prefetch::SchemeKind::kCampsMod);
-      sys_cfg.scheme_params.camps.conflict_entries = entries;
-      const auto r = system::make_workload_system(sys_cfg, w)->run();
+      const auto& r = results[next++];
       row.push_back(exp::Table::fmt(r.geomean_ipc / base_ipc[w]));
       if (w == "HM3") conflict_rate = r.row_conflict_rate;
     }

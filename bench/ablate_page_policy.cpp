@@ -11,15 +11,31 @@ int main(int argc, char** argv) {
   bench::print_banner("Ablation: page policy",
                       "paper fixes open page (Table I)", cfg);
 
-  exp::Table table({"workload", "scheme", "policy", "IPC", "row hits",
-                    "conflicts", "conflict rate"});
-  for (const std::string workload : {"HM3", "MX2"}) {
-    for (auto scheme :
-         {prefetch::SchemeKind::kNone, prefetch::SchemeKind::kCampsMod}) {
-      for (auto policy : {hmc::PagePolicy::kOpen, hmc::PagePolicy::kClosed}) {
+  const std::vector<std::string> workloads = {"HM3", "MX2"};
+  const std::vector<prefetch::SchemeKind> schemes = {
+      prefetch::SchemeKind::kNone, prefetch::SchemeKind::kCampsMod};
+  const std::vector<hmc::PagePolicy> policies = {hmc::PagePolicy::kOpen,
+                                                 hmc::PagePolicy::kClosed};
+
+  std::vector<std::pair<system::SystemConfig, std::string>> sims;
+  for (const auto& workload : workloads) {
+    for (auto scheme : schemes) {
+      for (auto policy : policies) {
         auto sys_cfg = cfg.system_config(scheme);
         sys_cfg.hmc.vault.page_policy = policy;
-        const auto r = system::make_workload_system(sys_cfg, workload)->run();
+        sims.emplace_back(sys_cfg, workload);
+      }
+    }
+  }
+  const auto results = bench::run_sims(cfg, sims);
+
+  exp::Table table({"workload", "scheme", "policy", "IPC", "row hits",
+                    "conflicts", "conflict rate"});
+  size_t next = 0;
+  for (const auto& workload : workloads) {
+    for (auto scheme : schemes) {
+      for (auto policy : policies) {
+        const auto& r = results[next++];
         table.add_row({workload, prefetch::to_string(scheme),
                        policy == hmc::PagePolicy::kOpen ? "open" : "closed",
                        exp::Table::fmt(r.geomean_ipc),

@@ -12,23 +12,37 @@ int main(int argc, char** argv) {
                       "paper fixes threshold = 4 (Section 3.1)", cfg);
 
   const std::vector<std::string> workloads = {"HM2", "LM2", "MX2"};
-  // Baselines (threshold is irrelevant for BASE).
-  std::map<std::string, double> base_ipc;
+  const std::vector<u32> thresholds = {1, 2, 3, 4, 6, 8, 12, 16};
+
+  // One batch: baselines first (threshold is irrelevant for BASE), then the
+  // full (threshold x workload) sweep, all fanned out over --jobs workers.
+  std::vector<std::pair<system::SystemConfig, std::string>> sims;
   for (const auto& w : workloads) {
-    auto sys_cfg = cfg.system_config(prefetch::SchemeKind::kBase);
-    base_ipc[w] = system::make_workload_system(sys_cfg, w)->run().geomean_ipc;
+    sims.emplace_back(cfg.system_config(prefetch::SchemeKind::kBase), w);
+  }
+  for (u32 threshold : thresholds) {
+    for (const auto& w : workloads) {
+      auto sys_cfg = cfg.system_config(prefetch::SchemeKind::kCampsMod);
+      sys_cfg.scheme_params.camps.utilization_threshold = threshold;
+      sims.emplace_back(sys_cfg, w);
+    }
+  }
+  const auto results = bench::run_sims(cfg, sims);
+
+  std::map<std::string, double> base_ipc;
+  for (size_t i = 0; i < workloads.size(); ++i) {
+    base_ipc[workloads[i]] = results[i].geomean_ipc;
   }
 
   exp::Table table({"threshold", "HM2 speedup", "LM2 speedup", "MX2 speedup",
                     "prefetches (HM2)", "accuracy (HM2)"});
-  for (u32 threshold : {1u, 2u, 3u, 4u, 6u, 8u, 12u, 16u}) {
+  size_t next = workloads.size();
+  for (u32 threshold : thresholds) {
     std::vector<std::string> row{std::to_string(threshold)};
     u64 prefetches = 0;
     double accuracy = 0.0;
     for (const auto& w : workloads) {
-      auto sys_cfg = cfg.system_config(prefetch::SchemeKind::kCampsMod);
-      sys_cfg.scheme_params.camps.utilization_threshold = threshold;
-      const auto r = system::make_workload_system(sys_cfg, w)->run();
+      const auto& r = results[next++];
       row.push_back(exp::Table::fmt(r.geomean_ipc / base_ipc[w]));
       if (w == "HM2") {
         prefetches = r.prefetches;

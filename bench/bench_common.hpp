@@ -5,8 +5,12 @@
 //   --measure=N    detailed-window instructions per core
 //   --warmup=N     warmup instructions per core
 //   --seed=N       workload generation seed
+//   --jobs=N       worker threads for the sweep (0 = all hardware threads)
 //   --quiet        suppress per-run progress on stderr
 //   --csv=FILE     additionally write the main table as CSV
+//
+// Unknown flags are fatal: a typo like `--measure 1000` (missing '=') must
+// not silently run the default budget and waste a full sweep.
 #pragma once
 
 #include <cstdio>
@@ -14,6 +18,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/log.hpp"
 #include "exp/runner.hpp"
 #include "exp/table.hpp"
 
@@ -33,6 +38,38 @@ inline void maybe_write_csv(const exp::Table& table) {
   }
 }
 
+inline void print_usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--quick] [--measure=N] [--warmup=N] [--seed=N]\n"
+               "          [--jobs=N] [--quiet] [--csv=FILE]\n"
+               "  --quick      1/5th instruction budget (smoke run)\n"
+               "  --measure=N  measured instructions per core\n"
+               "  --warmup=N   warmup instructions per core\n"
+               "  --seed=N     workload generation seed\n"
+               "  --jobs=N     worker threads for the sweep "
+               "(default: all hardware threads)\n"
+               "  --quiet      suppress per-run progress on stderr\n"
+               "  --csv=FILE   also write the main table as CSV\n",
+               argv0);
+}
+
+/// Strict decimal parse for --flag=N values: the whole value must be
+/// digits. `--jobs=abc` quietly becoming 0 would silently run the wrong
+/// sweep, which is exactly what fatal unknown-flag handling exists to stop.
+inline u64 parse_u64_value(const char* argv0, const std::string& arg,
+                           size_t prefix_len) {
+  const char* value = arg.c_str() + prefix_len;
+  char* end = nullptr;
+  const u64 parsed = std::strtoull(value, &end, 10);
+  if (*value == '\0' || end == nullptr || *end != '\0') {
+    std::fprintf(stderr, "%s: %.*s expects a number, got \"%s\"\n", argv0,
+                 static_cast<int>(prefix_len - 1), arg.c_str(), value);
+    print_usage(argv0);
+    std::exit(2);
+  }
+  return parsed;
+}
+
 inline exp::ExperimentConfig parse_args(int argc, char** argv) {
   exp::ExperimentConfig cfg;
   cfg.warmup_instructions = 50'000;
@@ -44,23 +81,30 @@ inline exp::ExperimentConfig parse_args(int argc, char** argv) {
       cfg.warmup_instructions /= 5;
       cfg.measure_instructions /= 5;
     } else if (arg.rfind("--measure=", 0) == 0) {
-      cfg.measure_instructions = std::strtoull(arg.c_str() + 10, nullptr, 10);
+      cfg.measure_instructions = parse_u64_value(argv[0], arg, 10);
     } else if (arg.rfind("--warmup=", 0) == 0) {
-      cfg.warmup_instructions = std::strtoull(arg.c_str() + 9, nullptr, 10);
+      cfg.warmup_instructions = parse_u64_value(argv[0], arg, 9);
     } else if (arg.rfind("--seed=", 0) == 0) {
-      cfg.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+      cfg.seed = parse_u64_value(argv[0], arg, 7);
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      cfg.jobs = static_cast<u32>(parse_u64_value(argv[0], arg, 7));
     } else if (arg == "--quiet") {
       cfg.verbose = false;
     } else if (arg.rfind("--csv=", 0) == 0) {
       csv_path() = arg.substr(6);
     } else if (arg == "--help") {
-      std::fprintf(stderr,
-                   "usage: %s [--quick] [--measure=N] [--warmup=N] "
-                   "[--seed=N] [--quiet] [--csv=FILE]\n",
-                   argv[0]);
+      print_usage(argv[0]);
       std::exit(0);
     } else {
-      std::fprintf(stderr, "unknown argument: %s (try --help)\n", arg.c_str());
+      std::fprintf(stderr, "%s: unknown argument: %s\n", argv[0], arg.c_str());
+      // Catch the `--flag value` (instead of `--flag=value`) shape.
+      for (const char* f : {"--measure", "--warmup", "--seed", "--jobs",
+                            "--csv"}) {
+        if (arg == f) {
+          std::fprintf(stderr, "(did you mean %s=VALUE?)\n", f);
+        }
+      }
+      print_usage(argv[0]);
       std::exit(2);
     }
   }
@@ -75,6 +119,42 @@ inline void print_banner(const char* figure, const char* paper_headline,
               static_cast<unsigned long long>(cfg.warmup_instructions),
               static_cast<unsigned long long>(cfg.measure_instructions),
               static_cast<unsigned long long>(cfg.seed));
+}
+
+/// Runs hand-built (config, workload) simulations on cfg.jobs worker
+/// threads and returns the results in input order. The ablation benches use
+/// this where they tweak SystemConfig fields the Runner cache can't key on.
+inline std::vector<system::RunResults> run_sims(
+    const exp::ExperimentConfig& cfg,
+    const std::vector<std::pair<system::SystemConfig, std::string>>& sims) {
+  std::vector<exp::SimFn> fns;
+  fns.reserve(sims.size());
+  for (const auto& sim : sims) {
+    const system::SystemConfig sys_cfg = sim.first;
+    const std::string workload = sim.second;
+    const bool verbose = cfg.verbose;
+    fns.push_back([sys_cfg, workload, verbose] {
+      if (verbose) {
+        progress_line("[run] %s / %s ...", workload.c_str(),
+                      prefetch::to_string(sys_cfg.scheme));
+      }
+      return system::make_workload_system(sys_cfg, workload)->run();
+    });
+  }
+  return exp::run_parallel(std::move(fns), cfg.jobs);
+}
+
+/// Prints the runner's accumulated host-side cost to stderr (not stdout, so
+/// output tables stay byte-identical across --jobs settings).
+inline void report_timing(const exp::Runner& runner) {
+  const auto& t = runner.timing();
+  if (t.runs == 0) return;
+  std::fprintf(stderr,
+               "timing: %llu runs, %.2fs wall, %.2fs simulation, "
+               "%llu events (%.2f Mevents/s per worker)\n",
+               static_cast<unsigned long long>(t.runs), t.sweep_seconds,
+               t.run_seconds, static_cast<unsigned long long>(t.events),
+               t.events_per_second() / 1e6);
 }
 
 }  // namespace camps::bench

@@ -17,11 +17,23 @@ int main(int argc, char** argv) {
   const std::vector<prefetch::SchemeKind> schemes = {
       prefetch::SchemeKind::kBase, prefetch::SchemeKind::kMmd,
       prefetch::SchemeKind::kCampsMod};
+  const std::vector<std::string> workloads = {"HM2", "HM3", "LM2", "MX1",
+                                              "MX2"};
+  // Front-load the whole sweep: the mix runs plus every distinct
+  // (benchmark, scheme) solo run the fairness denominators need.
+  std::vector<exp::Runner::Job> jobs;
+  for (const auto& w : workloads) {
+    for (auto scheme : schemes) {
+      jobs.push_back({w, scheme, false});
+      for (u32 c = 0; c < workload::kCoresPerWorkload; ++c) {
+        jobs.push_back({workload::workload(w).benchmarks[c], scheme, true});
+      }
+    }
+  }
+  runner.run_all(jobs);
   exp::Table table({"workload", "WS BASE", "WS MMD", "WS CAMPS-MOD",
                     "HS BASE", "HS MMD", "HS CAMPS-MOD"});
-  for (const auto& w : {std::string("HM2"), std::string("HM3"),
-                        std::string("LM2"), std::string("MX1"),
-                        std::string("MX2")}) {
+  for (const auto& w : workloads) {
     std::vector<std::string> row{w};
     for (auto scheme : schemes) {
       row.push_back(exp::Table::fmt(runner.weighted_speedup(w, scheme), 2));
@@ -37,5 +49,6 @@ int main(int argc, char** argv) {
       "\nWS: weighted speedup, max %u (every job at solo speed).\n"
       "HS: harmonic speedup, penalizes unfairness.\n",
       workload::kCoresPerWorkload);
+  bench::report_timing(runner);
   return 0;
 }

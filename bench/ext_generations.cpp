@@ -25,12 +25,14 @@ int main(int argc, char** argv) {
       {"gen1 + link PM", true, true},
   };
 
-  exp::Table table({"variant", "scheme", "IPC", "mem lat (cyc)",
-                    "link util up", "wakeups"});
-  for (const std::string workload : {"HM2", "LM2"}) {
+  const std::vector<std::string> workloads = {"HM2", "LM2"};
+  const std::vector<prefetch::SchemeKind> schemes = {
+      prefetch::SchemeKind::kNone, prefetch::SchemeKind::kCampsMod};
+
+  std::vector<std::pair<system::SystemConfig, std::string>> sims;
+  for (const auto& workload : workloads) {
     for (const auto& v : variants) {
-      for (auto scheme :
-           {prefetch::SchemeKind::kNone, prefetch::SchemeKind::kCampsMod}) {
+      for (auto scheme : schemes) {
         system::SystemConfig sys_cfg =
             v.gen1 ? system::hmc_gen1_config(scheme)
                    : system::table1_config(scheme);
@@ -38,14 +40,25 @@ int main(int argc, char** argv) {
         sys_cfg.core.measure_instructions = cfg.measure_instructions;
         sys_cfg.seed = cfg.seed;
         sys_cfg.hmc.link.power_management = v.link_pm;
-        auto sys = system::make_workload_system(sys_cfg, workload);
-        const auto r = sys->run();
+        sims.emplace_back(sys_cfg, workload);
+      }
+    }
+  }
+  const auto results = bench::run_sims(cfg, sims);
+
+  exp::Table table({"variant", "scheme", "IPC", "mem lat (cyc)",
+                    "link util up", "wakeups"});
+  size_t next = 0;
+  for (const auto& workload : workloads) {
+    for (const auto& v : variants) {
+      for (auto scheme : schemes) {
+        const auto& r = results[next++];
         table.add_row({std::string(v.name) + " / " + workload,
                        prefetch::to_string(scheme),
                        exp::Table::fmt(r.geomean_ipc),
                        exp::Table::fmt(r.mem_latency_cycles, 1),
                        exp::Table::pct(r.link_up_utilization),
-                       std::to_string(sys->memory().device().link_wakeups())});
+                       std::to_string(r.link_wakeups)});
       }
     }
   }

@@ -18,6 +18,9 @@ int main(int argc, char** argv) {
   const std::vector<prefetch::SchemeKind> schemes = {
       prefetch::SchemeKind::kStream, prefetch::SchemeKind::kCamps,
       prefetch::SchemeKind::kCampsMod};
+  auto warm = schemes;
+  warm.push_back(prefetch::SchemeKind::kBase);
+  runner.run_all(exp::Runner::all_workloads(), warm);
   exp::Table table({"workload", "STREAM", "CAMPS", "CAMPS-MOD",
                     "STREAM accuracy", "CAMPS-MOD accuracy"});
   for (const auto& w : exp::Runner::all_workloads()) {
@@ -47,5 +50,6 @@ int main(int argc, char** argv) {
   }
   std::printf("%s", table.to_string().c_str());
   bench::maybe_write_csv(table);
+  bench::report_timing(runner);
   return 0;
 }

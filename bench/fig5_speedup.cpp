@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   exp::Runner runner(cfg);
 
   const auto schemes = prefetch::paper_schemes();
+  runner.run_all(exp::Runner::all_workloads(), schemes);
   exp::Table table(
       {"workload", "BASE", "BASE-HIT", "MMD", "CAMPS", "CAMPS-MOD"});
   for (const auto& w : exp::Runner::all_workloads()) {
@@ -58,5 +59,6 @@ int main(int argc, char** argv) {
       "\nmeasured: CAMPS-MOD %+.1f%% vs BASE (paper +17.9%%), %+.1f%% vs MMD "
       "(paper +8.7%%)\n",
       (avg - 1.0) * 100.0, (vs_mmd - 1.0) * 100.0);
+  bench::report_timing(runner);
   return 0;
 }

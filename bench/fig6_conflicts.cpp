@@ -18,6 +18,9 @@ int main(int argc, char** argv) {
   const std::vector<prefetch::SchemeKind> schemes = {
       prefetch::SchemeKind::kBaseHit, prefetch::SchemeKind::kMmd,
       prefetch::SchemeKind::kCamps, prefetch::SchemeKind::kCampsMod};
+  auto warm = schemes;
+  warm.push_back(prefetch::SchemeKind::kBase);
+  runner.run_all(exp::Runner::all_workloads(), warm);
   exp::Table table({"workload", "BASE-HIT", "MMD", "CAMPS", "CAMPS-MOD",
                     "BASE (sanity)"});
   std::map<prefetch::SchemeKind, double> conflict_sums;
@@ -50,5 +53,6 @@ int main(int argc, char** argv) {
       "\nmeasured: CAMPS-MOD conflict rate %+.1f%% vs BASE-HIT (paper "
       "-16.3%%), %+.1f%% vs MMD (paper -13.6%%)\n",
       (cmod / bh - 1.0) * 100.0, (cmod / mmd - 1.0) * 100.0);
+  bench::report_timing(runner);
   return 0;
 }

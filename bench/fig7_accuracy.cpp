@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   exp::Runner runner(cfg);
 
   const auto schemes = prefetch::paper_schemes();
+  runner.run_all(exp::Runner::all_workloads(), schemes);
   exp::Table table(
       {"workload", "BASE", "BASE-HIT", "MMD", "CAMPS", "CAMPS-MOD"});
   std::map<prefetch::SchemeKind, double> sums;
@@ -45,5 +46,6 @@ int main(int argc, char** argv) {
       sums[prefetch::SchemeKind::kMmd] / 12.0 * 100,
       sums[prefetch::SchemeKind::kCamps] / 12.0 * 100,
       sums[prefetch::SchemeKind::kCampsMod] / 12.0 * 100);
+  bench::report_timing(runner);
   return 0;
 }

@@ -13,6 +13,9 @@ int main(int argc, char** argv) {
                       "CAMPS-MOD -26% AMAT vs BASE; 16.3% better than MMD",
                       cfg);
   exp::Runner runner(cfg);
+  runner.run_all(exp::Runner::all_workloads(),
+                 {prefetch::SchemeKind::kBase, prefetch::SchemeKind::kMmd,
+                  prefetch::SchemeKind::kCampsMod});
 
   exp::Table table({"workload", "BASE AMAT (cyc)", "MMD reduction",
                     "CAMPS-MOD reduction"});
@@ -37,5 +40,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nmeasured: CAMPS-MOD AMAT reduction %.1f%% (paper 26%%), MMD %.1f%%\n",
       cmod_sum / 12.0 * 100.0, mmd_sum / 12.0 * 100.0);
+  bench::report_timing(runner);
   return 0;
 }

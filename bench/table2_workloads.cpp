@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
                       "MX1-4 (four HM + four LM)",
                       cfg);
   exp::Runner runner(cfg);
+  runner.run_all(exp::Runner::all_workloads(), {prefetch::SchemeKind::kNone});
 
   exp::Table table({"ID", "class", "benchmarks", "measured MPKI"});
   for (const auto& w : workload::table2_workloads()) {
@@ -28,5 +29,6 @@ int main(int argc, char** argv) {
   }
   std::printf("%s", table.to_string().c_str());
   bench::maybe_write_csv(table);
+  bench::report_timing(runner);
   return 0;
 }

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_addrmap.dir/ablate_addrmap.cpp.o"
+  "CMakeFiles/bench_ablate_addrmap.dir/ablate_addrmap.cpp.o.d"
+  "bench_ablate_addrmap"
+  "bench_ablate_addrmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_addrmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_basehit_trigger.dir/ablate_basehit_trigger.cpp.o"
+  "CMakeFiles/bench_ablate_basehit_trigger.dir/ablate_basehit_trigger.cpp.o.d"
+  "bench_ablate_basehit_trigger"
+  "bench_ablate_basehit_trigger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_basehit_trigger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

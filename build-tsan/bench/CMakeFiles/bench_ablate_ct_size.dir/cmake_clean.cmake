@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_ct_size.dir/ablate_ct_size.cpp.o"
+  "CMakeFiles/bench_ablate_ct_size.dir/ablate_ct_size.cpp.o.d"
+  "bench_ablate_ct_size"
+  "bench_ablate_ct_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_ct_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_page_policy.dir/ablate_page_policy.cpp.o"
+  "CMakeFiles/bench_ablate_page_policy.dir/ablate_page_policy.cpp.o.d"
+  "bench_ablate_page_policy"
+  "bench_ablate_page_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_page_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

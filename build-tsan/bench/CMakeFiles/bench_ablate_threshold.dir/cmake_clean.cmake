@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_threshold.dir/ablate_threshold.cpp.o"
+  "CMakeFiles/bench_ablate_threshold.dir/ablate_threshold.cpp.o.d"
+  "bench_ablate_threshold"
+  "bench_ablate_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_fairness.dir/ext_fairness.cpp.o"
+  "CMakeFiles/bench_ext_fairness.dir/ext_fairness.cpp.o.d"
+  "bench_ext_fairness"
+  "bench_ext_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_generations.dir/ext_generations.cpp.o"
+  "CMakeFiles/bench_ext_generations.dir/ext_generations.cpp.o.d"
+  "bench_ext_generations"
+  "bench_ext_generations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_generations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_stream.dir/ext_stream.cpp.o"
+  "CMakeFiles/bench_ext_stream.dir/ext_stream.cpp.o.d"
+  "bench_ext_stream"
+  "bench_ext_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_speedup.cpp" "bench/CMakeFiles/bench_fig5_speedup.dir/fig5_speedup.cpp.o" "gcc" "bench/CMakeFiles/bench_fig5_speedup.dir/fig5_speedup.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/camps_exp.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/camps_system.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/camps_cpu.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/camps_cache.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/camps_hmc.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/camps_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/camps_dram.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/camps_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/camps_energy.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/camps_workload.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/camps_trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/camps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_conflicts.dir/fig6_conflicts.cpp.o"
+  "CMakeFiles/bench_fig6_conflicts.dir/fig6_conflicts.cpp.o.d"
+  "bench_fig6_conflicts"
+  "bench_fig6_conflicts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_conflicts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_amat.dir/fig8_amat.cpp.o"
+  "CMakeFiles/bench_fig8_amat.dir/fig8_amat.cpp.o.d"
+  "bench_fig8_amat"
+  "bench_fig8_amat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_amat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

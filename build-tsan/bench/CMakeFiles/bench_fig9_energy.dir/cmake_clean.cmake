@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_energy.dir/fig9_energy.cpp.o"
+  "CMakeFiles/bench_fig9_energy.dir/fig9_energy.cpp.o.d"
+  "bench_fig9_energy"
+  "bench_fig9_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_event_queue.dir/micro_event_queue.cpp.o"
+  "CMakeFiles/bench_micro_event_queue.dir/micro_event_queue.cpp.o.d"
+  "bench_micro_event_queue"
+  "bench_micro_event_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_event_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

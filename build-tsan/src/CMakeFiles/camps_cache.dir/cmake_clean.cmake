@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camps_cache.dir/cache/cache.cpp.o"
+  "CMakeFiles/camps_cache.dir/cache/cache.cpp.o.d"
+  "CMakeFiles/camps_cache.dir/cache/hierarchy.cpp.o"
+  "CMakeFiles/camps_cache.dir/cache/hierarchy.cpp.o.d"
+  "CMakeFiles/camps_cache.dir/cache/mshr.cpp.o"
+  "CMakeFiles/camps_cache.dir/cache/mshr.cpp.o.d"
+  "libcamps_cache.a"
+  "libcamps_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camps_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

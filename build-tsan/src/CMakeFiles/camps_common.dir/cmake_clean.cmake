@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camps_common.dir/common/config_file.cpp.o"
+  "CMakeFiles/camps_common.dir/common/config_file.cpp.o.d"
+  "CMakeFiles/camps_common.dir/common/log.cpp.o"
+  "CMakeFiles/camps_common.dir/common/log.cpp.o.d"
+  "CMakeFiles/camps_common.dir/common/rng.cpp.o"
+  "CMakeFiles/camps_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/camps_common.dir/common/stats.cpp.o"
+  "CMakeFiles/camps_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/camps_common.dir/common/thread_pool.cpp.o"
+  "CMakeFiles/camps_common.dir/common/thread_pool.cpp.o.d"
+  "libcamps_common.a"
+  "libcamps_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camps_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camps_cpu.dir/cpu/core.cpp.o"
+  "CMakeFiles/camps_cpu.dir/cpu/core.cpp.o.d"
+  "libcamps_cpu.a"
+  "libcamps_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camps_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/bank.cpp" "src/CMakeFiles/camps_dram.dir/dram/bank.cpp.o" "gcc" "src/CMakeFiles/camps_dram.dir/dram/bank.cpp.o.d"
+  "/root/repo/src/dram/refresh.cpp" "src/CMakeFiles/camps_dram.dir/dram/refresh.cpp.o" "gcc" "src/CMakeFiles/camps_dram.dir/dram/refresh.cpp.o.d"
+  "/root/repo/src/dram/timing.cpp" "src/CMakeFiles/camps_dram.dir/dram/timing.cpp.o" "gcc" "src/CMakeFiles/camps_dram.dir/dram/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/camps_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/camps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

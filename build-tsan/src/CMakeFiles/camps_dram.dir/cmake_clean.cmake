@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camps_dram.dir/dram/bank.cpp.o"
+  "CMakeFiles/camps_dram.dir/dram/bank.cpp.o.d"
+  "CMakeFiles/camps_dram.dir/dram/refresh.cpp.o"
+  "CMakeFiles/camps_dram.dir/dram/refresh.cpp.o.d"
+  "CMakeFiles/camps_dram.dir/dram/timing.cpp.o"
+  "CMakeFiles/camps_dram.dir/dram/timing.cpp.o.d"
+  "libcamps_dram.a"
+  "libcamps_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camps_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camps_energy.dir/energy/energy_model.cpp.o"
+  "CMakeFiles/camps_energy.dir/energy/energy_model.cpp.o.d"
+  "libcamps_energy.a"
+  "libcamps_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camps_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

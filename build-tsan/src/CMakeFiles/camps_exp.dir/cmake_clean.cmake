@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camps_exp.dir/exp/runner.cpp.o"
+  "CMakeFiles/camps_exp.dir/exp/runner.cpp.o.d"
+  "CMakeFiles/camps_exp.dir/exp/table.cpp.o"
+  "CMakeFiles/camps_exp.dir/exp/table.cpp.o.d"
+  "libcamps_exp.a"
+  "libcamps_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camps_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hmc/address_map.cpp" "src/CMakeFiles/camps_hmc.dir/hmc/address_map.cpp.o" "gcc" "src/CMakeFiles/camps_hmc.dir/hmc/address_map.cpp.o.d"
+  "/root/repo/src/hmc/crossbar.cpp" "src/CMakeFiles/camps_hmc.dir/hmc/crossbar.cpp.o" "gcc" "src/CMakeFiles/camps_hmc.dir/hmc/crossbar.cpp.o.d"
+  "/root/repo/src/hmc/hmc_device.cpp" "src/CMakeFiles/camps_hmc.dir/hmc/hmc_device.cpp.o" "gcc" "src/CMakeFiles/camps_hmc.dir/hmc/hmc_device.cpp.o.d"
+  "/root/repo/src/hmc/host_controller.cpp" "src/CMakeFiles/camps_hmc.dir/hmc/host_controller.cpp.o" "gcc" "src/CMakeFiles/camps_hmc.dir/hmc/host_controller.cpp.o.d"
+  "/root/repo/src/hmc/packet.cpp" "src/CMakeFiles/camps_hmc.dir/hmc/packet.cpp.o" "gcc" "src/CMakeFiles/camps_hmc.dir/hmc/packet.cpp.o.d"
+  "/root/repo/src/hmc/serial_link.cpp" "src/CMakeFiles/camps_hmc.dir/hmc/serial_link.cpp.o" "gcc" "src/CMakeFiles/camps_hmc.dir/hmc/serial_link.cpp.o.d"
+  "/root/repo/src/hmc/vault_controller.cpp" "src/CMakeFiles/camps_hmc.dir/hmc/vault_controller.cpp.o" "gcc" "src/CMakeFiles/camps_hmc.dir/hmc/vault_controller.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/camps_dram.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/camps_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/camps_energy.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/camps_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/camps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camps_hmc.dir/hmc/address_map.cpp.o"
+  "CMakeFiles/camps_hmc.dir/hmc/address_map.cpp.o.d"
+  "CMakeFiles/camps_hmc.dir/hmc/crossbar.cpp.o"
+  "CMakeFiles/camps_hmc.dir/hmc/crossbar.cpp.o.d"
+  "CMakeFiles/camps_hmc.dir/hmc/hmc_device.cpp.o"
+  "CMakeFiles/camps_hmc.dir/hmc/hmc_device.cpp.o.d"
+  "CMakeFiles/camps_hmc.dir/hmc/host_controller.cpp.o"
+  "CMakeFiles/camps_hmc.dir/hmc/host_controller.cpp.o.d"
+  "CMakeFiles/camps_hmc.dir/hmc/packet.cpp.o"
+  "CMakeFiles/camps_hmc.dir/hmc/packet.cpp.o.d"
+  "CMakeFiles/camps_hmc.dir/hmc/serial_link.cpp.o"
+  "CMakeFiles/camps_hmc.dir/hmc/serial_link.cpp.o.d"
+  "CMakeFiles/camps_hmc.dir/hmc/vault_controller.cpp.o"
+  "CMakeFiles/camps_hmc.dir/hmc/vault_controller.cpp.o.d"
+  "libcamps_hmc.a"
+  "libcamps_hmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camps_hmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

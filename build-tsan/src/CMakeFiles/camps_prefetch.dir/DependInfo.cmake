@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prefetch/conflict_table.cpp" "src/CMakeFiles/camps_prefetch.dir/prefetch/conflict_table.cpp.o" "gcc" "src/CMakeFiles/camps_prefetch.dir/prefetch/conflict_table.cpp.o.d"
+  "/root/repo/src/prefetch/factory.cpp" "src/CMakeFiles/camps_prefetch.dir/prefetch/factory.cpp.o" "gcc" "src/CMakeFiles/camps_prefetch.dir/prefetch/factory.cpp.o.d"
+  "/root/repo/src/prefetch/prefetch_buffer.cpp" "src/CMakeFiles/camps_prefetch.dir/prefetch/prefetch_buffer.cpp.o" "gcc" "src/CMakeFiles/camps_prefetch.dir/prefetch/prefetch_buffer.cpp.o.d"
+  "/root/repo/src/prefetch/replacement.cpp" "src/CMakeFiles/camps_prefetch.dir/prefetch/replacement.cpp.o" "gcc" "src/CMakeFiles/camps_prefetch.dir/prefetch/replacement.cpp.o.d"
+  "/root/repo/src/prefetch/rut.cpp" "src/CMakeFiles/camps_prefetch.dir/prefetch/rut.cpp.o" "gcc" "src/CMakeFiles/camps_prefetch.dir/prefetch/rut.cpp.o.d"
+  "/root/repo/src/prefetch/scheme_base.cpp" "src/CMakeFiles/camps_prefetch.dir/prefetch/scheme_base.cpp.o" "gcc" "src/CMakeFiles/camps_prefetch.dir/prefetch/scheme_base.cpp.o.d"
+  "/root/repo/src/prefetch/scheme_base_hit.cpp" "src/CMakeFiles/camps_prefetch.dir/prefetch/scheme_base_hit.cpp.o" "gcc" "src/CMakeFiles/camps_prefetch.dir/prefetch/scheme_base_hit.cpp.o.d"
+  "/root/repo/src/prefetch/scheme_camps.cpp" "src/CMakeFiles/camps_prefetch.dir/prefetch/scheme_camps.cpp.o" "gcc" "src/CMakeFiles/camps_prefetch.dir/prefetch/scheme_camps.cpp.o.d"
+  "/root/repo/src/prefetch/scheme_mmd.cpp" "src/CMakeFiles/camps_prefetch.dir/prefetch/scheme_mmd.cpp.o" "gcc" "src/CMakeFiles/camps_prefetch.dir/prefetch/scheme_mmd.cpp.o.d"
+  "/root/repo/src/prefetch/scheme_none.cpp" "src/CMakeFiles/camps_prefetch.dir/prefetch/scheme_none.cpp.o" "gcc" "src/CMakeFiles/camps_prefetch.dir/prefetch/scheme_none.cpp.o.d"
+  "/root/repo/src/prefetch/scheme_stream.cpp" "src/CMakeFiles/camps_prefetch.dir/prefetch/scheme_stream.cpp.o" "gcc" "src/CMakeFiles/camps_prefetch.dir/prefetch/scheme_stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/camps_dram.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/camps_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/camps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

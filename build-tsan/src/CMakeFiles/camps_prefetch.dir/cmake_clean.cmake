@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camps_prefetch.dir/prefetch/conflict_table.cpp.o"
+  "CMakeFiles/camps_prefetch.dir/prefetch/conflict_table.cpp.o.d"
+  "CMakeFiles/camps_prefetch.dir/prefetch/factory.cpp.o"
+  "CMakeFiles/camps_prefetch.dir/prefetch/factory.cpp.o.d"
+  "CMakeFiles/camps_prefetch.dir/prefetch/prefetch_buffer.cpp.o"
+  "CMakeFiles/camps_prefetch.dir/prefetch/prefetch_buffer.cpp.o.d"
+  "CMakeFiles/camps_prefetch.dir/prefetch/replacement.cpp.o"
+  "CMakeFiles/camps_prefetch.dir/prefetch/replacement.cpp.o.d"
+  "CMakeFiles/camps_prefetch.dir/prefetch/rut.cpp.o"
+  "CMakeFiles/camps_prefetch.dir/prefetch/rut.cpp.o.d"
+  "CMakeFiles/camps_prefetch.dir/prefetch/scheme_base.cpp.o"
+  "CMakeFiles/camps_prefetch.dir/prefetch/scheme_base.cpp.o.d"
+  "CMakeFiles/camps_prefetch.dir/prefetch/scheme_base_hit.cpp.o"
+  "CMakeFiles/camps_prefetch.dir/prefetch/scheme_base_hit.cpp.o.d"
+  "CMakeFiles/camps_prefetch.dir/prefetch/scheme_camps.cpp.o"
+  "CMakeFiles/camps_prefetch.dir/prefetch/scheme_camps.cpp.o.d"
+  "CMakeFiles/camps_prefetch.dir/prefetch/scheme_mmd.cpp.o"
+  "CMakeFiles/camps_prefetch.dir/prefetch/scheme_mmd.cpp.o.d"
+  "CMakeFiles/camps_prefetch.dir/prefetch/scheme_none.cpp.o"
+  "CMakeFiles/camps_prefetch.dir/prefetch/scheme_none.cpp.o.d"
+  "CMakeFiles/camps_prefetch.dir/prefetch/scheme_stream.cpp.o"
+  "CMakeFiles/camps_prefetch.dir/prefetch/scheme_stream.cpp.o.d"
+  "libcamps_prefetch.a"
+  "libcamps_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camps_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camps_sim.dir/sim/clock.cpp.o"
+  "CMakeFiles/camps_sim.dir/sim/clock.cpp.o.d"
+  "CMakeFiles/camps_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/camps_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/camps_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/camps_sim.dir/sim/simulator.cpp.o.d"
+  "libcamps_sim.a"
+  "libcamps_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camps_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camps_system.dir/system/config.cpp.o"
+  "CMakeFiles/camps_system.dir/system/config.cpp.o.d"
+  "CMakeFiles/camps_system.dir/system/results.cpp.o"
+  "CMakeFiles/camps_system.dir/system/results.cpp.o.d"
+  "CMakeFiles/camps_system.dir/system/system.cpp.o"
+  "CMakeFiles/camps_system.dir/system/system.cpp.o.d"
+  "libcamps_system.a"
+  "libcamps_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camps_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

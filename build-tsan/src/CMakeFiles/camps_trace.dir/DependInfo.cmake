@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/patterns.cpp" "src/CMakeFiles/camps_trace.dir/trace/patterns.cpp.o" "gcc" "src/CMakeFiles/camps_trace.dir/trace/patterns.cpp.o.d"
+  "/root/repo/src/trace/spec_profiles.cpp" "src/CMakeFiles/camps_trace.dir/trace/spec_profiles.cpp.o" "gcc" "src/CMakeFiles/camps_trace.dir/trace/spec_profiles.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/CMakeFiles/camps_trace.dir/trace/trace.cpp.o" "gcc" "src/CMakeFiles/camps_trace.dir/trace/trace.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/CMakeFiles/camps_trace.dir/trace/trace_io.cpp.o" "gcc" "src/CMakeFiles/camps_trace.dir/trace/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/camps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camps_trace.dir/trace/patterns.cpp.o"
+  "CMakeFiles/camps_trace.dir/trace/patterns.cpp.o.d"
+  "CMakeFiles/camps_trace.dir/trace/spec_profiles.cpp.o"
+  "CMakeFiles/camps_trace.dir/trace/spec_profiles.cpp.o.d"
+  "CMakeFiles/camps_trace.dir/trace/trace.cpp.o"
+  "CMakeFiles/camps_trace.dir/trace/trace.cpp.o.d"
+  "CMakeFiles/camps_trace.dir/trace/trace_io.cpp.o"
+  "CMakeFiles/camps_trace.dir/trace/trace_io.cpp.o.d"
+  "libcamps_trace.a"
+  "libcamps_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camps_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camps_workload.dir/workload/workloads.cpp.o"
+  "CMakeFiles/camps_workload.dir/workload/workloads.cpp.o.d"
+  "libcamps_workload.a"
+  "libcamps_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camps_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

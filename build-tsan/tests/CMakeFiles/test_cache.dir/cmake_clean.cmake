@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache.dir/cache/test_cache.cpp.o"
+  "CMakeFiles/test_cache.dir/cache/test_cache.cpp.o.d"
+  "CMakeFiles/test_cache.dir/cache/test_hierarchy.cpp.o"
+  "CMakeFiles/test_cache.dir/cache/test_hierarchy.cpp.o.d"
+  "CMakeFiles/test_cache.dir/cache/test_mshr.cpp.o"
+  "CMakeFiles/test_cache.dir/cache/test_mshr.cpp.o.d"
+  "test_cache"
+  "test_cache.pdb"
+  "test_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

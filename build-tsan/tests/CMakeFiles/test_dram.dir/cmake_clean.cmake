@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dram.dir/dram/test_bank.cpp.o"
+  "CMakeFiles/test_dram.dir/dram/test_bank.cpp.o.d"
+  "CMakeFiles/test_dram.dir/dram/test_refresh.cpp.o"
+  "CMakeFiles/test_dram.dir/dram/test_refresh.cpp.o.d"
+  "CMakeFiles/test_dram.dir/dram/test_timing.cpp.o"
+  "CMakeFiles/test_dram.dir/dram/test_timing.cpp.o.d"
+  "test_dram"
+  "test_dram.pdb"
+  "test_dram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hmc/test_address_map.cpp" "tests/CMakeFiles/test_hmc.dir/hmc/test_address_map.cpp.o" "gcc" "tests/CMakeFiles/test_hmc.dir/hmc/test_address_map.cpp.o.d"
+  "/root/repo/tests/hmc/test_crossbar.cpp" "tests/CMakeFiles/test_hmc.dir/hmc/test_crossbar.cpp.o" "gcc" "tests/CMakeFiles/test_hmc.dir/hmc/test_crossbar.cpp.o.d"
+  "/root/repo/tests/hmc/test_hmc_device.cpp" "tests/CMakeFiles/test_hmc.dir/hmc/test_hmc_device.cpp.o" "gcc" "tests/CMakeFiles/test_hmc.dir/hmc/test_hmc_device.cpp.o.d"
+  "/root/repo/tests/hmc/test_protocol.cpp" "tests/CMakeFiles/test_hmc.dir/hmc/test_protocol.cpp.o" "gcc" "tests/CMakeFiles/test_hmc.dir/hmc/test_protocol.cpp.o.d"
+  "/root/repo/tests/hmc/test_serial_link.cpp" "tests/CMakeFiles/test_hmc.dir/hmc/test_serial_link.cpp.o" "gcc" "tests/CMakeFiles/test_hmc.dir/hmc/test_serial_link.cpp.o.d"
+  "/root/repo/tests/hmc/test_vault_controller.cpp" "tests/CMakeFiles/test_hmc.dir/hmc/test_vault_controller.cpp.o" "gcc" "tests/CMakeFiles/test_hmc.dir/hmc/test_vault_controller.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/camps_exp.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/camps_system.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/camps_cpu.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/camps_cache.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/camps_hmc.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/camps_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/camps_dram.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/camps_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/camps_energy.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/camps_workload.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/camps_trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/camps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

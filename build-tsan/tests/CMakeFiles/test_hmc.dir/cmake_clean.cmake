@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hmc.dir/hmc/test_address_map.cpp.o"
+  "CMakeFiles/test_hmc.dir/hmc/test_address_map.cpp.o.d"
+  "CMakeFiles/test_hmc.dir/hmc/test_crossbar.cpp.o"
+  "CMakeFiles/test_hmc.dir/hmc/test_crossbar.cpp.o.d"
+  "CMakeFiles/test_hmc.dir/hmc/test_hmc_device.cpp.o"
+  "CMakeFiles/test_hmc.dir/hmc/test_hmc_device.cpp.o.d"
+  "CMakeFiles/test_hmc.dir/hmc/test_protocol.cpp.o"
+  "CMakeFiles/test_hmc.dir/hmc/test_protocol.cpp.o.d"
+  "CMakeFiles/test_hmc.dir/hmc/test_serial_link.cpp.o"
+  "CMakeFiles/test_hmc.dir/hmc/test_serial_link.cpp.o.d"
+  "CMakeFiles/test_hmc.dir/hmc/test_vault_controller.cpp.o"
+  "CMakeFiles/test_hmc.dir/hmc/test_vault_controller.cpp.o.d"
+  "test_hmc"
+  "test_hmc.pdb"
+  "test_hmc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prefetch.dir/prefetch/test_camps_scheme.cpp.o"
+  "CMakeFiles/test_prefetch.dir/prefetch/test_camps_scheme.cpp.o.d"
+  "CMakeFiles/test_prefetch.dir/prefetch/test_conflict_table.cpp.o"
+  "CMakeFiles/test_prefetch.dir/prefetch/test_conflict_table.cpp.o.d"
+  "CMakeFiles/test_prefetch.dir/prefetch/test_prefetch_buffer.cpp.o"
+  "CMakeFiles/test_prefetch.dir/prefetch/test_prefetch_buffer.cpp.o.d"
+  "CMakeFiles/test_prefetch.dir/prefetch/test_replacement.cpp.o"
+  "CMakeFiles/test_prefetch.dir/prefetch/test_replacement.cpp.o.d"
+  "CMakeFiles/test_prefetch.dir/prefetch/test_rut.cpp.o"
+  "CMakeFiles/test_prefetch.dir/prefetch/test_rut.cpp.o.d"
+  "CMakeFiles/test_prefetch.dir/prefetch/test_schemes.cpp.o"
+  "CMakeFiles/test_prefetch.dir/prefetch/test_schemes.cpp.o.d"
+  "CMakeFiles/test_prefetch.dir/prefetch/test_stream_scheme.cpp.o"
+  "CMakeFiles/test_prefetch.dir/prefetch/test_stream_scheme.cpp.o.d"
+  "test_prefetch"
+  "test_prefetch.pdb"
+  "test_prefetch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

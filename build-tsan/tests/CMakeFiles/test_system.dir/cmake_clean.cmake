@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system.dir/exp/test_runner.cpp.o"
+  "CMakeFiles/test_system.dir/exp/test_runner.cpp.o.d"
+  "CMakeFiles/test_system.dir/exp/test_table.cpp.o"
+  "CMakeFiles/test_system.dir/exp/test_table.cpp.o.d"
+  "CMakeFiles/test_system.dir/system/test_classification.cpp.o"
+  "CMakeFiles/test_system.dir/system/test_classification.cpp.o.d"
+  "CMakeFiles/test_system.dir/system/test_config.cpp.o"
+  "CMakeFiles/test_system.dir/system/test_config.cpp.o.d"
+  "CMakeFiles/test_system.dir/system/test_integration.cpp.o"
+  "CMakeFiles/test_system.dir/system/test_integration.cpp.o.d"
+  "CMakeFiles/test_system.dir/system/test_results.cpp.o"
+  "CMakeFiles/test_system.dir/system/test_results.cpp.o.d"
+  "CMakeFiles/test_system.dir/system/test_system.cpp.o"
+  "CMakeFiles/test_system.dir/system/test_system.cpp.o.d"
+  "test_system"
+  "test_system.pdb"
+  "test_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace.dir/trace/test_patterns.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/test_patterns.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_spec_profiles.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/test_spec_profiles.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_trace.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/test_trace.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_trace_io.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/test_trace_io.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_workloads.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/test_workloads.cpp.o.d"
+  "test_trace"
+  "test_trace.pdb"
+  "test_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/test_common[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_sim[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_dram[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_trace[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_prefetch[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_hmc[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_cache[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_cpu[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_energy[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_system[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camps_sim_cli.dir/camps_sim.cpp.o"
+  "CMakeFiles/camps_sim_cli.dir/camps_sim.cpp.o.d"
+  "camps_sim"
+  "camps_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camps_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,7 +1,12 @@
 #!/usr/bin/env bash
 # Runs every figure/table/ablation bench sequentially and tees the combined
 # output. Usage: scripts/run_all_benches.sh [outfile] [extra bench args...]
-# e.g. scripts/run_all_benches.sh bench_output.txt --quick
+# e.g. scripts/run_all_benches.sh bench_output.txt --quick --jobs=4
+#
+# Extra args are passed to every figure/table bench; --jobs=N runs each
+# bench's simulations on N worker threads (tables are byte-identical for any
+# N, so parallelism is purely a wall-clock lever). The two micro-benchmarks
+# take their own flags and are special-cased.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,7 +18,11 @@ shift || true
     name="$(basename "$b")"
     echo "### $name"
     if [ "$name" = bench_micro_components ]; then
-      "$b" --benchmark_min_time=0.05s
+      # google-benchmark >= 1.8 wants a unit suffix; older versions reject it.
+      "$b" --benchmark_min_time=0.05s 2>/dev/null ||
+        "$b" --benchmark_min_time=0.05
+    elif [ "$name" = bench_micro_event_queue ]; then
+      "$b" --events=5000000
     else
       "$b" --quiet "$@"
     fi

@@ -21,6 +21,12 @@ void log_vemit(LogLevel level, std::string_view component, const char* fmt,
                ...) __attribute__((format(printf, 3, 4)));
 }
 
+/// Writes one whole line to stderr under the process-wide logging mutex, so
+/// lines emitted from concurrent sweep workers never interleave mid-line.
+/// Unconditional (not subject to the log level): callers gate on their own
+/// verbosity flags. A trailing '\n' is appended.
+void progress_line(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
 template <typename... Args>
 void log(LogLevel level, std::string_view component, const char* fmt,
          Args&&... args) {

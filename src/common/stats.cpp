@@ -49,6 +49,23 @@ void Histogram::reset() {
   count_ = sum_ = min_ = max_ = 0;
 }
 
+void Histogram::merge_from(const Histogram& other) {
+  CAMPS_ASSERT_MSG(bucket_width_ == other.bucket_width_ &&
+                       buckets_.size() == other.buckets_.size(),
+                   "histogram merge requires identical geometry");
+  if (other.count_ == 0) return;
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 Counter& StatRegistry::counter(const std::string& name) {
   return counters_[name];
 }
@@ -113,6 +130,22 @@ std::string StatRegistry::dump() const {
 void StatRegistry::reset() {
   for (auto& [_, c] : counters_) c.reset();
   for (auto& [_, h] : histograms_) h.reset();
+}
+
+void StatRegistry::merge_from(const StatRegistry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counters_[name].merge_from(c);
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      it = histograms_
+               .emplace(name, Histogram(h.bucket_width(),
+                                        static_cast<u32>(h.buckets().size() - 1)))
+               .first;
+    }
+    it->second.merge_from(h);
+  }
 }
 
 }  // namespace camps

@@ -23,6 +23,9 @@ class Counter {
   u64 value() const { return value_; }
   void reset() { value_ = 0; }
 
+  /// Adds `other`'s count to this one (for cross-instance aggregation).
+  void merge_from(const Counter& other) { value_ += other.value_; }
+
  private:
   u64 value_ = 0;
 };
@@ -46,6 +49,11 @@ class Histogram {
   const std::vector<u64>& buckets() const { return buckets_; }
   u64 bucket_width() const { return bucket_width_; }
   void reset();
+
+  /// Adds `other`'s samples to this histogram. Requires identical geometry
+  /// (bucket width and count) — merging across differently shaped
+  /// histograms would silently misbucket.
+  void merge_from(const Histogram& other);
 
  private:
   u64 bucket_width_;
@@ -80,6 +88,15 @@ class StatRegistry {
   std::string dump() const;
 
   void reset();
+
+  /// Folds every counter and histogram of `other` into this registry,
+  /// creating entries that don't exist yet. Counters add; histograms
+  /// require matching geometry. Formulas are NOT merged: they capture
+  /// references into their own registry, so each System re-registers them.
+  /// This is what makes per-worker registries safe to aggregate after a
+  /// parallel sweep without double-counting — each worker owns a private
+  /// registry and the merge happens exactly once, under the caller's lock.
+  void merge_from(const StatRegistry& other);
 
  private:
   std::map<std::string, Counter> counters_;

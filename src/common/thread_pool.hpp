@@ -1,0 +1,57 @@
+// A small reusable fixed-size thread pool.
+//
+// Built for the experiment runner's embarrassingly parallel sweeps: jobs
+// are independent simulations that share nothing mutable, so the pool is a
+// plain work queue with no stealing or priorities. wait_idle() gives the
+// submitter a barrier without destroying the workers, so one pool can serve
+// several sweep rounds in a single bench process.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace camps {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (itself clamped to at least 1).
+  explicit ThreadPool(u32 threads = 0);
+
+  /// Drains outstanding jobs, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job. Jobs may submit further jobs.
+  void submit(std::function<void()> job);
+
+  /// Blocks until every submitted job (including jobs submitted by jobs)
+  /// has finished. The pool stays usable afterwards.
+  void wait_idle();
+
+  u32 size() const { return static_cast<u32>(workers_.size()); }
+
+  /// The worker count a `threads == 0` pool would get on this host.
+  static u32 default_threads();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  u32 active_ = 0;      ///< Jobs currently executing.
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace camps

@@ -1,14 +1,21 @@
 #include "sim/event_queue.hpp"
 
-#include <algorithm>
-
 #include "common/assert.hpp"
 
 namespace camps::sim {
 
 void EventQueue::schedule(Tick when, EventFn fn) {
-  heap_.push_back(Entry{when, next_seq_++, std::move(fn)});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  u32 slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+    slab_[slot] = std::move(fn);
+  } else {
+    slot = static_cast<u32>(slab_.size());
+    slab_.push_back(std::move(fn));
+  }
+  heap_.push_back(HeapEntry{when, next_seq_++, slot});
+  sift_up(heap_.size() - 1);
 }
 
 Tick EventQueue::next_time() const {
@@ -18,12 +25,45 @@ Tick EventQueue::next_time() const {
 
 std::pair<Tick, EventFn> EventQueue::pop() {
   CAMPS_ASSERT(!heap_.empty());
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Entry e = std::move(heap_.back());
+  const HeapEntry top = heap_.front();
+  std::pair<Tick, EventFn> out{top.when, std::move(slab_[top.slot])};
+  heap_.front() = heap_.back();
   heap_.pop_back();
-  return {e.when, std::move(e.fn)};
+  if (!heap_.empty()) sift_down(0);
+  free_.push_back(top.slot);
+  return out;
 }
 
-void EventQueue::clear() { heap_.clear(); }
+void EventQueue::clear() {
+  heap_.clear();
+  slab_.clear();
+  free_.clear();
+}
+
+void EventQueue::sift_up(size_t i) {
+  const HeapEntry entry = heap_[i];
+  while (i > 0) {
+    const size_t parent = (i - 1) / 2;
+    if (!earlier(entry, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
+}
+
+void EventQueue::sift_down(size_t i) {
+  const HeapEntry entry = heap_[i];
+  const size_t n = heap_.size();
+  while (true) {
+    size_t child = 2 * i + 1;
+    if (child >= n) break;
+    const size_t right = child + 1;
+    if (right < n && earlier(heap_[right], heap_[child])) child = right;
+    if (!earlier(heap_[child], entry)) break;
+    heap_[i] = heap_[child];
+    i = child;
+  }
+  heap_[i] = entry;
+}
 
 }  // namespace camps::sim

@@ -3,9 +3,25 @@
 // Events at equal ticks execute in insertion order (a monotone sequence
 // number breaks heap ties), which makes whole-system runs bit-for-bit
 // deterministic regardless of heap internals.
+//
+// Two hot-path design choices (see bench/micro_event_queue.cpp):
+//  * Event is a small-buffer-optimized functor: captures up to
+//    Event::kInlineCapacity bytes live inside the event record, so the
+//    common vault/core/cache callbacks never touch the heap. Larger or
+//    over-aligned captures fall back to a heap allocation (counted, so
+//    tests can assert the fast path stays fast).
+//  * The queue is a key-in-heap index heap: the binary heap holds compact
+//    (when, seq, slot) entries while the ~100-byte Event payloads sit in a
+//    slab addressed by slot. Sifts compare and move 24-byte POD entries in
+//    one contiguous array — no payload moves, no slab pointer chasing — and
+//    popped slots are recycled through a free list.
 #pragma once
 
-#include <functional>
+#include <atomic>
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -13,7 +29,126 @@
 
 namespace camps::sim {
 
-using EventFn = std::function<void()>;
+/// A move-only `void()` callable with inline storage for small captures.
+/// Drop-in for the hot subset of std::function<void()>: no copy, no
+/// target-type queries, but also no heap allocation for any nothrow-movable
+/// capture of at most kInlineCapacity bytes.
+class Event {
+ public:
+  /// Sized to the largest scheduling capture in the simulator (HmcDevice
+  /// forwards a MemRequest + DecodedAddr + tick = 80 bytes).
+  static constexpr size_t kInlineCapacity = 88;
+
+  Event() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, Event> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  Event(F&& f) {  // NOLINT(google-explicit-constructor): functor adaptor
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineCapacity &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      invoke_ = [](void* p) { (*std::launder(reinterpret_cast<Fn*>(p)))(); };
+      if constexpr (!std::is_trivially_copyable_v<Fn> ||
+                    !std::is_trivially_destructible_v<Fn>) {
+        manage_ = [](void* dst, void* src, Op op) {
+          if (op == Op::kRelocate) {
+            Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+            ::new (dst) Fn(std::move(*from));
+            from->~Fn();
+          } else {
+            std::launder(reinterpret_cast<Fn*>(dst))->~Fn();
+          }
+        };
+      }
+    } else {
+      heap_allocations_.fetch_add(1, std::memory_order_relaxed);
+      heap_ = true;
+      Fn* heap = new Fn(std::forward<F>(f));
+      std::memcpy(buf_, &heap, sizeof heap);
+      invoke_ = [](void* p) {
+        Fn* fn;
+        std::memcpy(&fn, p, sizeof fn);
+        (*fn)();
+      };
+      manage_ = [](void* dst, void* src, Op op) {
+        if (op == Op::kRelocate) {
+          std::memcpy(dst, src, sizeof(Fn*));
+        } else {
+          Fn* fn;
+          std::memcpy(&fn, dst, sizeof fn);
+          delete fn;
+        }
+      };
+    }
+  }
+
+  Event(Event&& other) noexcept { move_from(other); }
+  Event& operator=(Event&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+  ~Event() { reset(); }
+
+  void operator()() { invoke_(buf_); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  /// True if the capture lives in the inline buffer (no heap allocation).
+  bool is_inline() const { return invoke_ != nullptr && !heap_; }
+
+  void reset() {
+    if (invoke_ && manage_) manage_(buf_, nullptr, Op::kDestroy);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+    heap_ = false;
+  }
+
+  /// Process-wide count of events whose capture spilled to the heap. A hot
+  /// loop staying allocation-free shows up here as a flat line; tests and
+  /// the microbenchmark assert on deltas.
+  static u64 heap_allocation_count() {
+    return heap_allocations_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  enum class Op { kRelocate, kDestroy };
+
+  void move_from(Event& other) noexcept {
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    heap_ = other.heap_;
+    if (invoke_) {
+      if (manage_) {
+        manage_(buf_, other.buf_, Op::kRelocate);
+      } else {
+        std::memcpy(buf_, other.buf_, kInlineCapacity);
+      }
+    }
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+    other.heap_ = false;
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineCapacity];
+  void (*invoke_)(void*) = nullptr;
+  /// Non-null only when relocation/destruction is non-trivial (inline
+  /// non-trivially-copyable capture, or heap-spilled capture).
+  void (*manage_)(void* dst, void* src, Op op) = nullptr;
+  bool heap_ = false;
+
+  static inline std::atomic<u64> heap_allocations_{0};
+};
+
+using EventFn = Event;
 
 class EventQueue {
  public:
@@ -36,19 +171,26 @@ class EventQueue {
   void clear();
 
  private:
-  struct Entry {
+  /// Heap node: the full sort key plus the slab slot of the payload. Keeping
+  /// the key here (instead of dereferencing the slab in the comparator) keeps
+  /// sift traffic inside one contiguous, trivially-movable array.
+  struct HeapEntry {
     Tick when;
     u64 seq;
-    EventFn fn;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
+    u32 slot;
   };
 
-  std::vector<Entry> heap_;
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
+
+  void sift_up(size_t i);
+  void sift_down(size_t i);
+
+  std::vector<Event> slab_;      ///< Payloads, addressed by HeapEntry::slot.
+  std::vector<HeapEntry> heap_;  ///< Min-heap keyed (when, seq).
+  std::vector<u32> free_;        ///< Recycled slab slots.
   u64 next_seq_ = 0;
 };
 

@@ -4,6 +4,8 @@
 // system driver calls run() variants. Time only moves forward.
 #pragma once
 
+#include <functional>
+
 #include "sim/event_queue.hpp"
 
 namespace camps::sim {

@@ -49,6 +49,7 @@ struct RunResults {
   // direction, averaged over the links).
   double link_down_utilization = 0.0;
   double link_up_utilization = 0.0;
+  u64 link_wakeups = 0;  ///< Power-management wakeups across all links.
 
   // Workload character.
   double mpki = 0.0;  ///< L3 misses per kilo-instruction, whole workload.
@@ -57,6 +58,12 @@ struct RunResults {
 
   Tick measure_span_ticks = 0;
   bool partial = false;  ///< True if the run hit the max_cycles bound.
+
+  // Host-side performance of the simulation itself (not simulated time).
+  // events_executed is deterministic; wall_seconds is not, so identical-run
+  // comparisons must exclude it.
+  u64 events_executed = 0;     ///< Simulator events dispatched by the run.
+  double wall_seconds = 0.0;   ///< Host wall-clock spent inside run().
 
   /// Multi-line human-readable summary.
   std::string summary() const;

@@ -1,5 +1,7 @@
 #include "system/system.hpp"
 
+#include <chrono>
+
 #include "workload/workloads.hpp"
 
 namespace camps::system {
@@ -95,6 +97,7 @@ void System::on_core_measured(CoreId /*core*/) {
 RunResults System::run() {
   CAMPS_ASSERT_MSG(!ran_, "System::run() may be called once");
   ran_ = true;
+  const auto wall_start = std::chrono::steady_clock::now();
   for (auto& core : cores_) core->start();
   const Tick bound = cfg_.max_cycles * sim::kCpuTicksPerCycle;
   sim_.run_while_pending([&] {
@@ -107,7 +110,12 @@ RunResults System::run() {
   });
   if (partial_ || window_end_ == 0) window_end_ = sim_.now();
   if (warmed_ != cfg_.cores) window_start_ = window_end_;
-  return collect_results();
+  RunResults r = collect_results();
+  r.events_executed = sim_.events_executed();
+  r.wall_seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - wall_start)
+                       .count();
+  return r;
 }
 
 RunResults System::collect_results() const {
@@ -170,6 +178,7 @@ RunResults System::collect_results() const {
     r.link_up_utilization =
         static_cast<double>(device.link_busy_ticks_up()) / span;
   }
+  r.link_wakeups = device.link_wakeups();
   return r;
 }
 

@@ -1,0 +1,81 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace camps {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleIsABarrier) {
+  // After wait_idle returns, every side effect of every submitted task must
+  // be visible to the caller without further synchronization.
+  ThreadPool pool(4);
+  std::vector<int> results(64, 0);
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&results, i] { results[static_cast<size_t>(i)] = i + 1; });
+  }
+  pool.wait_idle();
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(results[static_cast<size_t>(i)], i + 1);
+}
+
+TEST(ThreadPool, ReusableAcrossRounds) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(ran.load(), (round + 1) * 10);
+  }
+}
+
+TEST(ThreadPool, DestructorDrainsPendingWork) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // no wait_idle: the destructor must finish the queue before joining
+  EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(ThreadPool, SizeAndDefaults) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  EXPECT_GE(ThreadPool::default_threads(), 1u);
+  ThreadPool defaulted(0);  // 0 = hardware concurrency, at least one thread
+  EXPECT_GE(defaulted.size(), 1u);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();
+  pool.wait_idle();
+  SUCCEED();
+}
+
+TEST(ThreadPool, TasksRunOffTheCallingThread) {
+  ThreadPool pool(1);
+  std::thread::id worker_id;
+  pool.submit([&worker_id] { worker_id = std::this_thread::get_id(); });
+  pool.wait_idle();
+  EXPECT_NE(worker_id, std::this_thread::get_id());
+}
+
+}  // namespace
+}  // namespace camps

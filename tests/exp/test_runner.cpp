@@ -78,6 +78,96 @@ TEST(Runner, HarmonicAtMostWeightedOverN) {
   EXPECT_LE(hs, ws / 8.0 + 1e-9);
 }
 
+// Field-by-field equality of everything deterministic in RunResults.
+// wall_seconds is host timing and is deliberately excluded.
+void expect_bit_identical(const system::RunResults& a,
+                          const system::RunResults& b) {
+  EXPECT_EQ(a.scheme, b.scheme);
+  ASSERT_EQ(a.cores.size(), b.cores.size());
+  for (size_t i = 0; i < a.cores.size(); ++i) {
+    EXPECT_EQ(a.cores[i].ipc, b.cores[i].ipc);
+    EXPECT_EQ(a.cores[i].instructions, b.cores[i].instructions);
+    EXPECT_EQ(a.cores[i].loads, b.cores[i].loads);
+    EXPECT_EQ(a.cores[i].stores, b.cores[i].stores);
+    EXPECT_EQ(a.cores[i].stall_cycles, b.cores[i].stall_cycles);
+  }
+  EXPECT_EQ(a.geomean_ipc, b.geomean_ipc);
+  EXPECT_EQ(a.amat_cycles, b.amat_cycles);
+  EXPECT_EQ(a.mem_latency_cycles, b.mem_latency_cycles);
+  EXPECT_EQ(a.row_hits, b.row_hits);
+  EXPECT_EQ(a.row_empties, b.row_empties);
+  EXPECT_EQ(a.row_conflicts, b.row_conflicts);
+  EXPECT_EQ(a.row_conflict_rate, b.row_conflict_rate);
+  EXPECT_EQ(a.prefetches, b.prefetches);
+  EXPECT_EQ(a.prefetch_accuracy, b.prefetch_accuracy);
+  EXPECT_EQ(a.buffer_hits, b.buffer_hits);
+  EXPECT_EQ(a.buffer_misses, b.buffer_misses);
+  EXPECT_EQ(a.buffer_hit_rate, b.buffer_hit_rate);
+  EXPECT_EQ(a.energy_pj, b.energy_pj);
+  EXPECT_EQ(a.link_down_utilization, b.link_down_utilization);
+  EXPECT_EQ(a.link_up_utilization, b.link_up_utilization);
+  EXPECT_EQ(a.link_wakeups, b.link_wakeups);
+  EXPECT_EQ(a.mpki, b.mpki);
+  EXPECT_EQ(a.memory_reads, b.memory_reads);
+  EXPECT_EQ(a.memory_writes, b.memory_writes);
+  EXPECT_EQ(a.measure_span_ticks, b.measure_span_ticks);
+  EXPECT_EQ(a.partial, b.partial);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+}
+
+TEST(Runner, ParallelSweepBitIdenticalToSerial) {
+  const std::vector<std::string> workloads = {"LM1", "HM1"};
+  const std::vector<prefetch::SchemeKind> schemes = {
+      prefetch::SchemeKind::kNone, prefetch::SchemeKind::kCampsMod};
+
+  ExperimentConfig serial_cfg = tiny();
+  serial_cfg.jobs = 1;
+  Runner serial(serial_cfg);
+  serial.run_all(workloads, schemes);
+
+  ExperimentConfig parallel_cfg = tiny();
+  parallel_cfg.jobs = 4;
+  Runner parallel(parallel_cfg);
+  parallel.run_all(workloads, schemes);
+
+  for (const auto& w : workloads) {
+    for (auto s : schemes) {
+      SCOPED_TRACE(w + "/" + prefetch::to_string(s));
+      expect_bit_identical(serial.result(w, s), parallel.result(w, s));
+    }
+  }
+}
+
+TEST(Runner, RunAllPopulatesTimingAndCache) {
+  ExperimentConfig cfg = tiny();
+  cfg.jobs = 2;
+  Runner runner(cfg);
+  runner.run_all({"LM1"}, {prefetch::SchemeKind::kNone});
+  EXPECT_EQ(runner.timing().runs, 1u);
+  EXPECT_GT(runner.timing().events, 0u);
+  EXPECT_GT(runner.timing().sweep_seconds, 0.0);
+  // Re-running the same jobs is a pure cache hit: no new runs.
+  runner.run_all({"LM1"}, {prefetch::SchemeKind::kNone});
+  EXPECT_EQ(runner.timing().runs, 1u);
+}
+
+TEST(RunParallel, PreservesJobOrder) {
+  std::vector<SimFn> sims;
+  for (int i = 0; i < 8; ++i) {
+    sims.push_back([i] {
+      system::RunResults r;
+      r.events_executed = static_cast<u64>(i);
+      return r;
+    });
+  }
+  const auto results = run_parallel(std::move(sims), 4);
+  ASSERT_EQ(results.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(results[static_cast<size_t>(i)].events_executed,
+              static_cast<u64>(i));
+  }
+}
+
 TEST(Runner, ConfigPropagatesToSystem) {
   ExperimentConfig cfg = tiny();
   cfg.seed = 1234;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <utility>
 #include <vector>
 
 namespace camps::sim {
@@ -72,6 +74,95 @@ TEST(EventQueue, ClearDropsEvents) {
   q.schedule(1, [] {});
   q.clear();
   EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TiesStayFifoAcrossSlotRecycling) {
+  // Slot reuse via the free list must never leak into ordering: after heavy
+  // pop/schedule churn, equal-tick events still run in insertion order.
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 64; ++i) q.schedule(static_cast<Tick>(i), [] {});
+  for (int i = 0; i < 64; ++i) q.pop();
+  for (int i = 0; i < 16; ++i) {
+    q.schedule(500, [&order, i] { order.push_back(i); });
+  }
+  std::vector<int> expected;
+  while (!q.empty()) q.pop().second();
+  for (int i = 0; i < 16; ++i) expected.push_back(i);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(Event, SmallCaptureStaysInline) {
+  // The simulator's hot captures (a few pointers + scalars) must not touch
+  // the heap. 48 bytes mirrors the vault controller's completion callbacks.
+  struct Capture {
+    u64* sink;
+    u64 a, b, c, d, e;
+    void operator()() const { *sink = a + b + c + d + e; }
+  };
+  u64 sink = 0;
+  const u64 before = Event::heap_allocation_count();
+  Event e(Capture{&sink, 1, 2, 3, 4, 5});
+  EXPECT_TRUE(e.is_inline());
+  EXPECT_EQ(Event::heap_allocation_count(), before);
+  e();
+  EXPECT_EQ(sink, 15u);
+}
+
+TEST(Event, DispatchLoopAllocationFree) {
+  EventQueue q;
+  u64 sink = 0;
+  q.schedule(0, [&sink] { sink += 1; });
+  const u64 before = Event::heap_allocation_count();
+  for (int i = 0; i < 1000; ++i) {
+    auto [when, fn] = q.pop();
+    fn();
+    q.schedule(when + 1, [&sink, when] { sink += when; });
+  }
+  EXPECT_EQ(Event::heap_allocation_count(), before)
+      << "steady-state scheduling with small captures must not allocate";
+  q.clear();
+}
+
+TEST(Event, OversizedCaptureSpillsToHeapAndStillRuns) {
+  struct Big {
+    unsigned char pad[Event::kInlineCapacity + 8];
+    int* out;
+    void operator()() const { *out = 7; }
+  };
+  int out = 0;
+  const u64 before = Event::heap_allocation_count();
+  Event e(Big{{}, &out});
+  EXPECT_FALSE(e.is_inline());
+  EXPECT_EQ(Event::heap_allocation_count(), before + 1);
+  Event moved = std::move(e);
+  moved();
+  EXPECT_EQ(out, 7);
+}
+
+TEST(Event, NonTriviallyCopyableCaptureWorksInline) {
+  // A capture owning a std::vector is nothrow-movable but not trivially
+  // copyable; it must survive the heap's relocations intact.
+  auto data = std::make_shared<std::vector<int>>(std::vector<int>{1, 2, 3});
+  int sum = 0;
+  EventQueue q;
+  q.schedule(1, [data, &sum] {
+    for (int v : *data) sum += v;
+  });
+  EXPECT_EQ(data.use_count(), 2);
+  q.pop().second();
+  EXPECT_EQ(sum, 6);
+  EXPECT_EQ(data.use_count(), 1) << "popped event must destroy its capture";
+}
+
+TEST(Event, MoveTransfersOwnership) {
+  int calls = 0;
+  Event a([&calls] { ++calls; });
+  Event b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(calls, 1);
 }
 
 TEST(EventQueue, LargeRandomLoadStaysSorted) {
