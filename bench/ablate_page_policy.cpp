@@ -47,5 +47,8 @@ int main(int argc, char** argv) {
   }
   std::printf("%s", table.to_string().c_str());
   bench::maybe_write_csv(table);
+  const auto named = bench::named_results(sims, results);
+  bench::maybe_write_stats_json("ablate_page_policy", cfg, named, table);
+  bench::maybe_write_trace(named);
   return 0;
 }

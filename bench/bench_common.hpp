@@ -8,6 +8,11 @@
 //   --jobs=N       worker threads for the sweep (0 = all hardware threads)
 //   --quiet        suppress per-run progress on stderr
 //   --csv=FILE     additionally write the main table as CSV
+//   --stats-json=FILE  machine-readable results (config + table + per-run
+//                  metrics; byte-identical across --jobs values)
+//   --trace-out=FILE   Chrome trace-event JSON of per-request spans
+//   --trace-cap=N  span ring-buffer capacity per run (default 16384)
+//   --log-level=L  trace|debug|info|warn|error (default warn)
 //
 // Unknown flags are fatal: a typo like `--measure 1000` (missing '=') must
 // not silently run the default budget and waste a full sweep.
@@ -17,10 +22,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "common/json.hpp"
 #include "common/log.hpp"
 #include "exp/runner.hpp"
 #include "exp/table.hpp"
+#include "obs/chrome_trace.hpp"
 
 namespace camps::bench {
 
@@ -38,10 +47,116 @@ inline void maybe_write_csv(const exp::Table& table) {
   }
 }
 
+/// JSON output path from --stats-json= (empty if not requested).
+inline std::string& stats_json_path() {
+  static std::string path;
+  return path;
+}
+
+/// Chrome-trace output path from --trace-out= (empty if not requested).
+inline std::string& trace_out_path() {
+  static std::string path;
+  return path;
+}
+
+/// (label, results) pairs in the order the exporters should emit them.
+using NamedResults =
+    std::vector<std::pair<std::string, const system::RunResults*>>;
+
+/// Every cached run of `runner`, labeled "workload/SCHEME", in the cache's
+/// deterministic map order.
+inline NamedResults named_results(const exp::Runner& runner) {
+  NamedResults out;
+  for (const auto& [key, res] : runner.results()) {
+    out.emplace_back(key.first + "/" + prefetch::to_string(key.second), &res);
+  }
+  return out;
+}
+
+/// Labels hand-built run_sims() batches "workload/SCHEME@i" (the index
+/// disambiguates ablation points reusing the same workload and scheme).
+inline NamedResults named_results(
+    const std::vector<std::pair<system::SystemConfig, std::string>>& sims,
+    const std::vector<system::RunResults>& results) {
+  NamedResults out;
+  for (size_t i = 0; i < results.size() && i < sims.size(); ++i) {
+    out.emplace_back(sims[i].second + "/" +
+                         prefetch::to_string(sims[i].first.scheme) + "@" +
+                         std::to_string(i),
+                     &results[i]);
+  }
+  return out;
+}
+
+/// Writes the bench-level JSON document to the --stats-json= path, if one
+/// was given. Layout: {"bench", "config", "table", "runs": [{"name",
+/// "results"}...]}. Runs are emitted compactly (one line each) inside a
+/// pretty-printed shell. Excludes wall-clock, so the file is byte-identical
+/// across --jobs values.
+inline void maybe_write_stats_json(const char* bench,
+                                   const exp::ExperimentConfig& cfg,
+                                   const NamedResults& runs,
+                                   const exp::Table& table) {
+  if (stats_json_path().empty()) return;
+  JsonWriter w(2);
+  w.begin_object();
+  w.field("bench", bench);
+  w.key("config");
+  w.begin_object();
+  w.field("warmup_instructions", cfg.warmup_instructions);
+  w.field("measure_instructions", cfg.measure_instructions);
+  w.field("seed", cfg.seed);
+  w.end_object();
+  w.key("table");
+  w.raw(table.to_json(0));
+  w.key("runs");
+  w.begin_array();
+  for (const auto& [name, res] : runs) {
+    w.begin_object();
+    w.field("name", name);
+    w.key("results");
+    w.raw(res->to_json(0));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  write_text_file(stats_json_path(), w.str() + "\n");
+  std::fprintf(stderr, "stats json written to %s\n",
+               stats_json_path().c_str());
+}
+
+inline void maybe_write_stats_json(const char* bench,
+                                   const exp::Runner& runner,
+                                   const exp::Table& table) {
+  if (stats_json_path().empty()) return;
+  maybe_write_stats_json(bench, runner.config(), named_results(runner), table);
+}
+
+/// Writes all runs' spans as one Chrome trace to the --trace-out= path, if
+/// one was given (each run becomes a process in the viewer).
+inline void maybe_write_trace(const NamedResults& runs) {
+  if (trace_out_path().empty()) return;
+  std::vector<obs::TraceRun> trace_runs;
+  for (const auto& [name, res] : runs) {
+    if (res->trace_spans == nullptr) continue;
+    trace_runs.push_back(obs::TraceRun{name, res->trace_spans.get()});
+  }
+  obs::write_chrome_trace(trace_out_path(), trace_runs);
+  std::fprintf(stderr, "trace written to %s (%zu runs)\n",
+               trace_out_path().c_str(), trace_runs.size());
+}
+
+inline void maybe_write_trace(const exp::Runner& runner) {
+  if (trace_out_path().empty()) return;
+  maybe_write_trace(named_results(runner));
+}
+
 inline void print_usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--quick] [--measure=N] [--warmup=N] [--seed=N]\n"
                "          [--jobs=N] [--quiet] [--csv=FILE]\n"
+               "          [--stats-json=FILE] [--trace-out=FILE] "
+               "[--trace-cap=N] [--log-level=L]\n"
                "  --quick      1/5th instruction budget (smoke run)\n"
                "  --measure=N  measured instructions per core\n"
                "  --warmup=N   warmup instructions per core\n"
@@ -49,8 +164,31 @@ inline void print_usage(const char* argv0) {
                "  --jobs=N     worker threads for the sweep "
                "(default: all hardware threads)\n"
                "  --quiet      suppress per-run progress on stderr\n"
-               "  --csv=FILE   also write the main table as CSV\n",
+               "  --csv=FILE   also write the main table as CSV\n"
+               "  --stats-json=FILE  also write results as JSON "
+               "(deterministic across --jobs)\n"
+               "  --trace-out=FILE   write request-lifecycle spans as "
+               "Chrome trace JSON\n"
+               "  --trace-cap=N      span ring capacity per run "
+               "(default 16384)\n"
+               "  --log-level=L      trace|debug|info|warn|error "
+               "(default warn)\n",
                argv0);
+}
+
+/// Strict parse for --log-level= values; exits on anything unrecognized.
+inline LogLevel parse_log_level(const char* argv0, const std::string& value) {
+  if (value == "trace") return LogLevel::kTrace;
+  if (value == "debug") return LogLevel::kDebug;
+  if (value == "info") return LogLevel::kInfo;
+  if (value == "warn") return LogLevel::kWarn;
+  if (value == "error") return LogLevel::kError;
+  std::fprintf(stderr,
+               "%s: --log-level expects trace|debug|info|warn|error, "
+               "got \"%s\"\n",
+               argv0, value.c_str());
+  print_usage(argv0);
+  std::exit(2);
 }
 
 /// Strict decimal parse for --flag=N values: the whole value must be
@@ -92,6 +230,15 @@ inline exp::ExperimentConfig parse_args(int argc, char** argv) {
       cfg.verbose = false;
     } else if (arg.rfind("--csv=", 0) == 0) {
       csv_path() = arg.substr(6);
+    } else if (arg.rfind("--stats-json=", 0) == 0) {
+      stats_json_path() = arg.substr(13);
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out_path() = arg.substr(12);
+    } else if (arg.rfind("--trace-cap=", 0) == 0) {
+      cfg.obs.trace_capacity =
+          static_cast<u32>(parse_u64_value(argv[0], arg, 12));
+    } else if (arg.rfind("--log-level=", 0) == 0) {
+      set_log_level(parse_log_level(argv[0], arg.substr(12)));
     } else if (arg == "--help") {
       print_usage(argv[0]);
       std::exit(0);
@@ -99,7 +246,8 @@ inline exp::ExperimentConfig parse_args(int argc, char** argv) {
       std::fprintf(stderr, "%s: unknown argument: %s\n", argv[0], arg.c_str());
       // Catch the `--flag value` (instead of `--flag=value`) shape.
       for (const char* f : {"--measure", "--warmup", "--seed", "--jobs",
-                            "--csv"}) {
+                            "--csv", "--stats-json", "--trace-out",
+                            "--trace-cap", "--log-level"}) {
         if (arg == f) {
           std::fprintf(stderr, "(did you mean %s=VALUE?)\n", f);
         }
@@ -108,6 +256,9 @@ inline exp::ExperimentConfig parse_args(int argc, char** argv) {
       std::exit(2);
     }
   }
+  // Tracing is armed by asking for the output file; the recorder itself
+  // costs one branch per instrumentation point otherwise.
+  cfg.obs.trace_enabled = !trace_out_path().empty();
   return cfg;
 }
 

@@ -45,6 +45,8 @@ int main(int argc, char** argv) {
   }
   std::printf("%s", table.to_string().c_str());
   bench::maybe_write_csv(table);
+  bench::maybe_write_stats_json("ext_fairness", runner, table);
+  bench::maybe_write_trace(runner);
   std::printf(
       "\nWS: weighted speedup, max %u (every job at solo speed).\n"
       "HS: harmonic speedup, penalizes unfairness.\n",

@@ -50,6 +50,8 @@ int main(int argc, char** argv) {
   }
   std::printf("%s", table.to_string().c_str());
   bench::maybe_write_csv(table);
+  bench::maybe_write_stats_json("ext_stream", runner, table);
+  bench::maybe_write_trace(runner);
   bench::report_timing(runner);
   return 0;
 }

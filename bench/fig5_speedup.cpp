@@ -48,6 +48,8 @@ int main(int argc, char** argv) {
   }
   std::printf("%s", table.to_string().c_str());
   bench::maybe_write_csv(table);
+  bench::maybe_write_stats_json("fig5_speedup", runner, table);
+  bench::maybe_write_trace(runner);
 
   const double avg = runner.mean_speedup(exp::Runner::all_workloads(),
                                          prefetch::SchemeKind::kCampsMod,

@@ -45,6 +45,8 @@ int main(int argc, char** argv) {
   }
   std::printf("%s", table.to_string().c_str());
   bench::maybe_write_csv(table);
+  bench::maybe_write_stats_json("fig6_conflicts", runner, table);
+  bench::maybe_write_trace(runner);
 
   const double cmod = conflict_sums[prefetch::SchemeKind::kCampsMod];
   const double bh = conflict_sums[prefetch::SchemeKind::kBaseHit];

@@ -38,6 +38,8 @@ int main(int argc, char** argv) {
   }
   std::printf("%s", table.to_string().c_str());
   bench::maybe_write_csv(table);
+  bench::maybe_write_stats_json("fig7_accuracy", runner, table);
+  bench::maybe_write_trace(runner);
   std::printf(
       "\nmeasured averages: BASE %.1f%%, BASE-HIT %.1f%%, MMD %.1f%%, CAMPS "
       "%.1f%%, CAMPS-MOD %.1f%%\n",

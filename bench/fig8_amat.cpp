@@ -37,6 +37,8 @@ int main(int argc, char** argv) {
                  exp::Table::pct(cmod_sum / 12.0)});
   std::printf("%s", table.to_string().c_str());
   bench::maybe_write_csv(table);
+  bench::maybe_write_stats_json("fig8_amat", runner, table);
+  bench::maybe_write_trace(runner);
   std::printf(
       "\nmeasured: CAMPS-MOD AMAT reduction %.1f%% (paper 26%%), MMD %.1f%%\n",
       cmod_sum / 12.0 * 100.0, mmd_sum / 12.0 * 100.0);

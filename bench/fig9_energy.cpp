@@ -36,6 +36,8 @@ int main(int argc, char** argv) {
                  exp::Table::fmt(cmod_sum / 12.0)});
   std::printf("%s", table.to_string().c_str());
   bench::maybe_write_csv(table);
+  bench::maybe_write_stats_json("fig9_energy", runner, table);
+  bench::maybe_write_trace(runner);
   std::printf(
       "\nmeasured: MMD %.1f%% (paper -6.0%%), CAMPS-MOD %.1f%% (paper -8.5%%) "
       "vs BASE\n",

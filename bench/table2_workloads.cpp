@@ -29,6 +29,8 @@ int main(int argc, char** argv) {
   }
   std::printf("%s", table.to_string().c_str());
   bench::maybe_write_csv(table);
+  bench::maybe_write_stats_json("table2_workloads", runner, table);
+  bench::maybe_write_trace(runner);
   bench::report_timing(runner);
   return 0;
 }

@@ -1,23 +1,30 @@
 #!/usr/bin/env python3
-"""Plot the paper's figures from bench CSV exports.
+"""Plot the paper's figures from bench CSV or --stats-json exports.
 
 Usage:
   build/bench/bench_fig5_speedup --quiet --csv=fig5.csv
-  build/bench/bench_fig6_conflicts --quiet --csv=fig6.csv
+  build/bench/bench_fig6_conflicts --quiet --stats-json=fig6.json
   ...
-  scripts/plot_figures.py fig5.csv fig6.csv ...
+  scripts/plot_figures.py fig5.csv fig6.json ...
 
-Each CSV's first column is the workload id and the remaining columns are
+A .json input is a bench --stats-json document; its "table" object carries
+the same headers/rows as the CSV, so no table scraping is needed. Either
+way the first column is the workload id and the remaining columns are
 series (one bar group per workload, one bar per scheme), mirroring the
 paper's grouped-bar figures. Produces <input>.png next to each input. Falls
 back to an ASCII rendering when matplotlib is unavailable.
 """
 import csv
+import json
 import sys
 from pathlib import Path
 
 
 def read(path):
+    if path.endswith(".json"):
+        with open(path) as f:
+            table = json.load(f)["table"]
+        return table["headers"], table["rows"]
     with open(path, newline="") as f:
         rows = list(csv.reader(f))
     header, body = rows[0], rows[1:]

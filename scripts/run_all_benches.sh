@@ -5,7 +5,7 @@
 #
 # Extra args are passed to every figure/table bench; --jobs=N runs each
 # bench's simulations on N worker threads (tables are byte-identical for any
-# N, so parallelism is purely a wall-clock lever). The two micro-benchmarks
+# N, so parallelism is purely a wall-clock lever). The micro-benchmarks
 # take their own flags and are special-cased.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -23,6 +23,8 @@ shift || true
         "$b" --benchmark_min_time=0.05
     elif [ "$name" = bench_micro_event_queue ]; then
       "$b" --events=5000000
+    elif [ "$name" = bench_micro_vault_wake ]; then
+      "$b"
     else
       "$b" --quiet "$@"
     fi

@@ -1,0 +1,146 @@
+#include "common/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+
+namespace camps {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_double(double v) {
+  if (!std::isfinite(v)) return "0";
+  // Integers within exact-double range print without a fraction.
+  if (v == static_cast<double>(static_cast<i64>(v)) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  // Shortest precision that survives a parse round-trip.
+  char buf[64];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+void JsonWriter::newline_indent() {
+  if (indent_ == 0) return;
+  out_ += '\n';
+  out_.append(static_cast<size_t>(depth_ * indent_), ' ');
+}
+
+void JsonWriter::before_value() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // comma/indent were handled when the key was emitted
+  }
+  if (has_item_.back()) out_ += ',';
+  if (depth_ > 0) newline_indent();
+  has_item_.back() = true;
+}
+
+void JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  ++depth_;
+  has_item_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  const bool had_items = has_item_.back();
+  has_item_.pop_back();
+  --depth_;
+  if (had_items) newline_indent();
+  out_ += '}';
+}
+
+void JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  ++depth_;
+  has_item_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  const bool had_items = has_item_.back();
+  has_item_.pop_back();
+  --depth_;
+  if (had_items) newline_indent();
+  out_ += ']';
+}
+
+void JsonWriter::key(std::string_view k) {
+  if (has_item_.back()) out_ += ',';
+  newline_indent();
+  has_item_.back() = true;
+  out_ += '"';
+  out_ += json_escape(k);
+  out_ += indent_ > 0 ? "\": " : "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::value(std::string_view v) {
+  before_value();
+  out_ += '"';
+  out_ += json_escape(v);
+  out_ += '"';
+}
+
+void JsonWriter::value(bool v) {
+  before_value();
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::value(double v) {
+  before_value();
+  out_ += json_double(v);
+}
+
+void JsonWriter::raw(std::string_view json) {
+  before_value();
+  out_ += json;
+}
+
+void JsonWriter::value(u64 v) {
+  before_value();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(i64 v) {
+  before_value();
+  out_ += std::to_string(v);
+}
+
+void write_text_file(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!out) throw std::runtime_error("write to " + path + " failed");
+}
+
+}  // namespace camps

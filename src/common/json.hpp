@@ -1,0 +1,83 @@
+// Minimal deterministic JSON emission.
+//
+// Every machine-readable export in the repo (StatRegistry::dump_json, the
+// Chrome trace exporter, --stats-json, the epoch sampler) goes through this
+// writer so output is byte-stable: keys are emitted in caller order, doubles
+// render as the shortest string that round-trips exactly, and there is no
+// locale or pointer-order dependence anywhere. Byte-stability is what lets
+// the determinism tests literally diff --jobs=1 against --jobs=2 output.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace camps {
+
+/// JSON string escaping (quotes, backslash, control characters).
+std::string json_escape(std::string_view s);
+
+/// Shortest decimal rendering of `v` that parses back to the same double.
+/// NaN/Inf (not representable in JSON) render as 0 — exports never contain
+/// them on purpose, and a silent 0 beats invalid JSON downstream.
+std::string json_double(double v);
+
+/// Streaming JSON writer with optional pretty-printing. The caller is
+/// responsible for well-formedness (matching begin/end, key before value
+/// inside objects); the writer handles commas, indentation, and escaping.
+class JsonWriter {
+ public:
+  /// `indent` = 0 emits compact JSON; > 0 pretty-prints with that many
+  /// spaces per nesting level.
+  explicit JsonWriter(int indent = 0) : indent_(indent) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Emits the key of the next object member.
+  void key(std::string_view k);
+
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(bool v);
+  void value(double v);
+  void value(u64 v);
+  void value(i64 v);
+  void value(u32 v) { value(static_cast<u64>(v)); }
+  void value(int v) { value(static_cast<i64>(v)); }
+
+  /// Splices `json` (an already-rendered JSON value) in as the next value.
+  /// The fragment keeps its own formatting; callers composing documents
+  /// from raw fragments should use a consistent indent throughout.
+  void raw(std::string_view json);
+
+  /// Convenience: key + value in one call.
+  template <typename T>
+  void field(std::string_view k, T v) {
+    key(k);
+    value(v);
+  }
+
+  /// The document rendered so far. Call after the final end_*().
+  const std::string& str() const { return out_; }
+
+ private:
+  void before_value();
+  void newline_indent();
+
+  std::string out_;
+  int indent_;
+  int depth_ = 0;
+  /// Per-depth "a value has already been emitted at this level" flags.
+  std::vector<bool> has_item_{false};
+  bool pending_key_ = false;
+};
+
+/// Writes `content` to `path`; throws std::runtime_error on I/O failure.
+void write_text_file(const std::string& path, std::string_view content);
+
+}  // namespace camps

@@ -1,30 +1,22 @@
 #include "common/stats.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <sstream>
 
 #include "common/assert.hpp"
+#include "common/json.hpp"
 
 namespace camps {
 
 Histogram::Histogram(u64 bucket_width, u32 num_buckets)
-    : bucket_width_(bucket_width), buckets_(num_buckets + 1, 0) {
+    : bucket_width_(bucket_width),
+      shift_((bucket_width & (bucket_width - 1)) == 0
+                 ? std::countr_zero(bucket_width)
+                 : -1),
+      buckets_(num_buckets + 1, 0) {
   CAMPS_ASSERT(bucket_width > 0);
   CAMPS_ASSERT(num_buckets > 0);
-}
-
-void Histogram::sample(u64 value) {
-  u64 idx = value / bucket_width_;
-  if (idx >= buckets_.size() - 1) idx = buckets_.size() - 1;  // overflow
-  ++buckets_[idx];
-  ++count_;
-  sum_ += value;
-  if (count_ == 1) {
-    min_ = max_ = value;
-  } else {
-    min_ = std::min(min_, value);
-    max_ = std::max(max_, value);
-  }
 }
 
 double Histogram::percentile(double p) const {
@@ -93,6 +85,11 @@ bool StatRegistry::has_counter(const std::string& name) const {
   return counters_.count(name) != 0;
 }
 
+const Histogram* StatRegistry::find_histogram(const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
 u64 StatRegistry::sum_matching(const std::string& pattern) const {
   const auto star = pattern.find('*');
   if (star == std::string::npos) return counter_value(pattern);
@@ -125,6 +122,42 @@ std::string StatRegistry::dump() const {
     out << name << " = " << fn() << '\n';
   }
   return out.str();
+}
+
+std::string StatRegistry::dump_json(int indent) const {
+  JsonWriter w(indent);
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, c] : counters_) w.field(name, c.value());
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name);
+    w.begin_object();
+    w.field("count", h.count());
+    w.field("sum", h.sum());
+    w.field("min", h.min());
+    w.field("max", h.max());
+    w.field("mean", h.mean());
+    w.field("p50", h.percentile(50));
+    w.field("p95", h.percentile(95));
+    w.field("p99", h.percentile(99));
+    w.field("bucket_width", h.bucket_width());
+    w.key("buckets");
+    w.begin_array();
+    for (u64 b : h.buckets()) w.value(b);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.key("formulas");
+  w.begin_object();
+  for (const auto& [name, fn] : formulas_) w.field(name, fn());
+  w.end_object();
+  w.end_object();
+  return w.str();
 }
 
 void StatRegistry::reset() {

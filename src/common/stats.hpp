@@ -37,7 +37,22 @@ class Histogram {
   Histogram() : Histogram(16, 64) {}
   Histogram(u64 bucket_width, u32 num_buckets);
 
-  void sample(u64 value);
+  /// Hot path: a handful of adds plus a shift (power-of-two widths) or one
+  /// integer division. Components sample per memory access, so keep widths
+  /// powers of two where the cost matters.
+  void sample(u64 value) {
+    u64 idx = shift_ >= 0 ? value >> shift_ : value / bucket_width_;
+    if (idx >= buckets_.size() - 1) idx = buckets_.size() - 1;  // overflow
+    ++buckets_[idx];
+    ++count_;
+    sum_ += value;
+    if (count_ == 1) {
+      min_ = max_ = value;
+    } else {
+      min_ = value < min_ ? value : min_;
+      max_ = value > max_ ? value : max_;
+    }
+  }
 
   u64 count() const { return count_; }
   u64 sum() const { return sum_; }
@@ -57,6 +72,7 @@ class Histogram {
 
  private:
   u64 bucket_width_;
+  int shift_;  // log2(bucket_width_) when a power of two, else -1
   std::vector<u64> buckets_;  // last element is the overflow bucket
   u64 count_ = 0;
   u64 sum_ = 0;
@@ -79,6 +95,9 @@ class StatRegistry {
   u64 counter_value(const std::string& name) const;
   bool has_counter(const std::string& name) const;
 
+  /// Registered histogram by exact name, or nullptr. Never creates.
+  const Histogram* find_histogram(const std::string& name) const;
+
   /// Sum of all counters whose name matches `prefix*suffix` with a single
   /// '*' wildcard in `pattern` (or exact match when no '*'). Used to
   /// aggregate per-vault counters into device totals.
@@ -86,6 +105,13 @@ class StatRegistry {
 
   /// Renders "name = value" lines, sorted by name.
   std::string dump() const;
+
+  /// Machine-readable registry dump: {"counters": {...}, "histograms":
+  /// {name: {count,sum,min,max,mean,p50,p95,p99,bucket_width,buckets}},
+  /// "formulas": {...}}. Names sort alphabetically and doubles render
+  /// shortest-round-trip, so the output is byte-stable across runs and
+  /// --jobs settings (see common/json.hpp).
+  std::string dump_json(int indent = 0) const;
 
   void reset();
 

@@ -3,8 +3,10 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "sim/clock.hpp"
 
 namespace camps::dram {
+
 
 BankState Bank::state(u64 cycle) const {
   // Transients settle by themselves once their completion cycle passes.
@@ -73,7 +75,7 @@ u64 Bank::earliest_precharge(u64 cycle) const {
   return c;
 }
 
-void Bank::activate(u64 cycle, RowId row) {
+void Bank::activate(u64 cycle, RowId row, u64 trace_id) {
   settle(cycle);
   CAMPS_ASSERT_MSG(raw_state_ == BankState::kPrecharged,
                    "ACT issued to a non-precharged bank");
@@ -85,9 +87,10 @@ void Bank::activate(u64 cycle, RowId row) {
   any_col_ = false;
   rd_pre_gate_ = wr_pre_gate_ = 0;
   ++n_act_;
+  trace_span(obs::Stage::kBankAct, trace_id, cycle, ready_at_);
 }
 
-u64 Bank::read(u64 cycle) {
+u64 Bank::read(u64 cycle, u64 trace_id) {
   settle(cycle);
   CAMPS_ASSERT_MSG(state(cycle) == BankState::kActive ||
                        state(cycle) == BankState::kActivating,
@@ -97,10 +100,12 @@ u64 Bank::read(u64 cycle) {
   any_col_ = true;
   rd_pre_gate_ = std::max(rd_pre_gate_, cycle + t_->tRTP);
   ++n_rd_;
-  return cycle + t_->tCL + t_->tBURST;
+  const u64 done = cycle + t_->tCL + t_->tBURST;
+  trace_span(obs::Stage::kBankService, trace_id, cycle, done);
+  return done;
 }
 
-u64 Bank::write(u64 cycle) {
+u64 Bank::write(u64 cycle, u64 trace_id) {
   settle(cycle);
   CAMPS_ASSERT_MSG(state(cycle) == BankState::kActive ||
                        state(cycle) == BankState::kActivating,
@@ -111,10 +116,11 @@ u64 Bank::write(u64 cycle) {
   const u64 data_end = cycle + t_->tWL + t_->tBURST;
   wr_pre_gate_ = std::max(wr_pre_gate_, data_end + t_->tWR);
   ++n_wr_;
+  trace_span(obs::Stage::kBankService, trace_id, cycle, data_end);
   return data_end;
 }
 
-u64 Bank::fetch_row(u64 cycle) {
+u64 Bank::fetch_row(u64 cycle, u64 trace_id) {
   settle(cycle);
   CAMPS_ASSERT_MSG(state(cycle) == BankState::kActive ||
                        state(cycle) == BankState::kActivating,
@@ -128,6 +134,7 @@ u64 Bank::fetch_row(u64 cycle) {
   any_col_ = true;
   rd_pre_gate_ = std::max(rd_pre_gate_, done);
   ++n_rowfetch_;
+  trace_span(obs::Stage::kRowFetch, trace_id, cycle, done);
   return done;
 }
 
@@ -140,6 +147,7 @@ void Bank::precharge(u64 cycle) {
   raw_state_ = BankState::kPrecharging;
   ready_at_ = cycle + t_->tRP;
   ++n_pre_;
+  trace_span(obs::Stage::kBankPre, /*id=*/0, cycle, ready_at_);
 }
 
 void Bank::refresh(u64 cycle) {

@@ -10,6 +10,8 @@
 
 #include "common/types.hpp"
 #include "dram/timing.hpp"
+#include "obs/trace_recorder.hpp"
+#include "sim/clock.hpp"
 
 namespace camps::dram {
 
@@ -31,6 +33,15 @@ class Bank {
  public:
   explicit Bank(const TimingParams& timing) : t_(&timing) {}
 
+  /// Arms span recording for this bank's commands. `track` is the bank's
+  /// global lane id (vault * banks_per_vault + bank). The bank records ACT,
+  /// PRE, column-service, and row-fetch windows; `trace_id` on the command
+  /// methods ties a span back to the demand request that caused it.
+  void attach_trace(obs::TraceRecorder* trace, u32 track) {
+    trace_ = trace;
+    trace_track_ = track;
+  }
+
   /// Current state once all transitions up to `cycle` have settled.
   BankState state(u64 cycle) const;
 
@@ -46,13 +57,13 @@ class Bank {
   u64 earliest_precharge(u64 cycle) const;
 
   // --- Commands. Each CAMPS_ASSERTs legality at `cycle`. --------------
-  void activate(u64 cycle, RowId row);
+  void activate(u64 cycle, RowId row, u64 trace_id = 0);
   /// Reads one line; returns the cycle the last data beat arrives.
-  u64 read(u64 cycle);
+  u64 read(u64 cycle, u64 trace_id = 0);
   /// Writes one line; returns the cycle write data finishes (gates tWR).
-  u64 write(u64 cycle);
+  u64 write(u64 cycle, u64 trace_id = 0);
   /// Streams the whole open row to the prefetch buffer; returns completion.
-  u64 fetch_row(u64 cycle);
+  u64 fetch_row(u64 cycle, u64 trace_id = 0);
   void precharge(u64 cycle);
   /// Enters refresh; bank must be precharged. Busy until cycle + tRFC.
   void refresh(u64 cycle);
@@ -66,7 +77,18 @@ class Bank {
   u64 refresh_count() const { return n_ref_; }
 
  private:
+  /// Records [begin, end) DRAM cycles as a tick span; one inlined branch
+  /// when tracing is off (this sits on the per-DRAM-command hot path).
+  void trace_span(obs::Stage stage, u64 id, u64 begin_cycle, u64 end_cycle) {
+    if (trace_ == nullptr) return;
+    trace_->record(stage, trace_track_, id,
+                   begin_cycle * sim::kDramTicksPerCycle,
+                   end_cycle * sim::kDramTicksPerCycle);
+  }
+
   const TimingParams* t_;
+  obs::TraceRecorder* trace_ = nullptr;
+  u32 trace_track_ = 0;
 
   BankState raw_state_ = BankState::kPrecharged;
   RowId row_ = 0;

@@ -24,6 +24,7 @@ system::SystemConfig ExperimentConfig::system_config(
   cfg.core.measure_instructions = measure_instructions;
   cfg.seed = seed;
   cfg.max_cycles = max_cycles;
+  cfg.obs = obs;
   return cfg;
 }
 

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs_config.hpp"
 #include "system/system.hpp"
 #include "workload/workloads.hpp"
 
@@ -30,6 +31,10 @@ struct ExperimentConfig {
 
   /// Worker threads for parallel sweeps; 0 = all hardware threads.
   u32 jobs = 0;
+
+  /// Observability knobs copied into every run's SystemConfig (tracing and
+  /// epoch sampling are per-System, so sweeps stay deterministic).
+  obs::ObsConfig obs;
 
   /// Builds the Table I SystemConfig for one scheme under this experiment
   /// scale. Hook point for ablations: tweak the returned config.
@@ -111,6 +116,13 @@ class Runner {
   /// Accumulated host-side cost of every simulation this runner executed.
   const SweepTiming& timing() const { return timing_; }
 
+  using Cache = std::map<std::pair<std::string, prefetch::SchemeKind>,
+                         system::RunResults>;
+
+  /// Every cached (workload, scheme) -> results entry, in deterministic map
+  /// order. The exporters (--stats-json, --trace-out) iterate this.
+  const Cache& results() const { return cache_; }
+
   /// All Table II ids, in paper order.
   static std::vector<std::string> all_workloads();
   /// Ids of one class ("HM", "LM", "MX").
@@ -122,8 +134,7 @@ class Runner {
 
   ExperimentConfig cfg_;
   SweepTiming timing_;
-  std::map<std::pair<std::string, prefetch::SchemeKind>, system::RunResults>
-      cache_;
+  Cache cache_;
   std::map<std::pair<std::string, prefetch::SchemeKind>, double> solo_cache_;
 };
 

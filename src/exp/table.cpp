@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "common/assert.hpp"
+#include "common/json.hpp"
 
 namespace camps::exp {
 
@@ -73,6 +74,25 @@ std::string Table::to_csv() const {
   emit(headers_);
   for (const auto& row : rows_) emit(row);
   return out.str();
+}
+
+std::string Table::to_json(int indent) const {
+  JsonWriter w(indent);
+  w.begin_object();
+  w.key("headers");
+  w.begin_array();
+  for (const auto& h : headers_) w.value(h);
+  w.end_array();
+  w.key("rows");
+  w.begin_array();
+  for (const auto& row : rows_) {
+    w.begin_array();
+    for (const auto& cell : row) w.value(cell);
+    w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
 }
 
 void Table::write_csv(const std::string& path) const {

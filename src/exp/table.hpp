@@ -21,6 +21,15 @@ class Table {
   /// Writes to_csv() to `path`; throws std::runtime_error on I/O failure.
   void write_csv(const std::string& path) const;
 
+  /// JSON rendering: {"headers": [...], "rows": [[...], ...]}. Byte-stable
+  /// for a given table (cells are already formatted strings).
+  std::string to_json(int indent = 0) const;
+
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& row_data() const {
+    return rows_;
+  }
+
   size_t rows() const { return rows_.size(); }
 
   /// Fixed-precision double formatting ("1.234").

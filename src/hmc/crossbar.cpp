@@ -11,12 +11,16 @@ Crossbar::Crossbar(u32 output_ports, const CrossbarParams& params)
   CAMPS_ASSERT(output_ports > 0);
 }
 
-Tick Crossbar::route(Tick now, u32 port) {
+Tick Crossbar::route(Tick now, u32 port, u64 trace_id) {
   CAMPS_ASSERT(port < port_free_.size());
   const Tick start = std::max(now, port_free_[port]);
   port_free_[port] = start + p_.port_interval_ticks;
   ++packets_;
-  return start + p_.latency_ticks;
+  const Tick deliver = start + p_.latency_ticks;
+  if (trace_ != nullptr) {
+    trace_->record(trace_stage_, port, trace_id, now, deliver);
+  }
+  return deliver;
 }
 
 }  // namespace camps::hmc

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/trace_recorder.hpp"
 
 namespace camps::hmc {
 
@@ -28,14 +29,23 @@ class Crossbar {
   Crossbar(u32 output_ports, const CrossbarParams& params = {});
 
   /// Routes a packet submitted at `now` toward `port`; returns delivery
-  /// tick at that port. Per-port FIFO order is preserved.
-  Tick route(Tick now, u32 port);
+  /// tick at that port. Per-port FIFO order is preserved. `trace_id` tags
+  /// the traversal span when tracing is armed.
+  Tick route(Tick now, u32 port, u64 trace_id = 0);
+
+  /// Arms span recording (stage kXbarDown or kXbarUp, lane = output port).
+  void attach_trace(obs::TraceRecorder* trace, obs::Stage stage) {
+    trace_ = trace;
+    trace_stage_ = stage;
+  }
 
   u64 packets_routed() const { return packets_; }
   u32 ports() const { return static_cast<u32>(port_free_.size()); }
 
  private:
   CrossbarParams p_;
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::Stage trace_stage_ = obs::Stage::kXbarDown;
   std::vector<Tick> port_free_;
   u64 packets_ = 0;
 };

@@ -1,5 +1,7 @@
 #include "hmc/hmc_device.hpp"
 
+#include "sim/clock.hpp"
+
 namespace camps::hmc {
 
 using energy::EnergyEvent;
@@ -7,18 +9,34 @@ using energy::EnergyEvent;
 HmcDevice::HmcDevice(sim::Simulator& sim, const HmcConfig& config,
                      prefetch::SchemeKind scheme,
                      const prefetch::SchemeParams& params, StatRegistry* stats,
-                     DeliverFn deliver)
+                     DeliverFn deliver, obs::TraceRecorder* trace)
     : sim_(sim),
       cfg_(config),
       map_(config.geometry, config.field_order),
       energy_(config.energy),
       down_xbar_(config.geometry.vaults, config.crossbar),
       up_xbar_(config.num_links, config.crossbar),
-      deliver_(std::move(deliver)) {
+      deliver_(std::move(deliver)),
+      trace_(trace) {
   CAMPS_ASSERT(cfg_.num_links > 0);
   links_.reserve(cfg_.num_links);
   for (u32 l = 0; l < cfg_.num_links; ++l) {
     links_.push_back(std::make_unique<SerialLink>(cfg_.link));
+    links_[l]->downstream().attach_trace(trace_, obs::Stage::kLinkDown, l);
+    links_[l]->upstream().attach_trace(trace_, obs::Stage::kLinkUp, l);
+  }
+  down_xbar_.attach_trace(trace_, obs::Stage::kXbarDown);
+  up_xbar_.attach_trace(trace_, obs::Stage::kXbarUp);
+  if (stats != nullptr) {
+    h_lat_host_queue_ = &stats->histogram("latency.host_queue_cycles",
+                                          /*bucket_width=*/8,
+                                          /*num_buckets=*/64);
+    h_lat_link_down_ = &stats->histogram("latency.link_down_cycles",
+                                         /*bucket_width=*/4,
+                                         /*num_buckets=*/64);
+    h_lat_link_up_ = &stats->histogram("latency.link_up_cycles",
+                                       /*bucket_width=*/4,
+                                       /*num_buckets=*/64);
   }
   // Keep each vault's prefetch table geometry in sync with the banks.
   prefetch::SchemeParams per_vault = params;
@@ -30,7 +48,8 @@ HmcDevice::HmcDevice(sim::Simulator& sim, const HmcConfig& config,
         &energy_, stats,
         [this, v](const MemRequest& req, Tick ready) {
           on_vault_response(req, v, ready);
-        }));
+        },
+        trace_));
   }
 }
 
@@ -42,8 +61,21 @@ void HmcDevice::submit(const MemRequest& request, Tick now) {
                               : PacketKind::kWriteReq;
   const u32 flits = flits_for(kind);
   energy_.add(EnergyEvent::kLinkFlit, flits);
-  const Tick at_xbar = links_[link_idx]->downstream().submit(now, flits);
-  const Tick at_vault = down_xbar_.route(at_xbar, decoded.vault);
+  const auto xfer =
+      links_[link_idx]->downstream().submit_ex(now, flits, request.id);
+  if (h_lat_host_queue_ != nullptr) {
+    h_lat_host_queue_->sample((xfer.start - now) / sim::kCpuTicksPerCycle);
+  }
+  if (h_lat_link_down_ != nullptr) {
+    h_lat_link_down_->sample((xfer.deliver - xfer.start) /
+                             sim::kCpuTicksPerCycle);
+  }
+  if (trace_ != nullptr && xfer.start > now) {
+    trace_->record(obs::Stage::kHostQueue, link_idx, request.id, now,
+                   xfer.start);
+  }
+  const Tick at_xbar = xfer.deliver;
+  const Tick at_vault = down_xbar_.route(at_xbar, decoded.vault, request.id);
   VaultController* vault = vaults_[decoded.vault].get();
   sim_.schedule_at(at_vault, [vault, request, decoded, at_vault] {
     vault->receive(request, decoded, at_vault);
@@ -56,8 +88,14 @@ void HmcDevice::on_vault_response(const MemRequest& request, VaultId vault,
   const u32 link_idx = vault % cfg_.num_links;
   const u32 flits = flits_for(PacketKind::kReadResp);
   energy_.add(EnergyEvent::kLinkFlit, flits);
-  const Tick at_link = up_xbar_.route(ready, link_idx);
-  const Tick at_host = links_[link_idx]->upstream().submit(at_link, flits);
+  const Tick at_link = up_xbar_.route(ready, link_idx, request.id);
+  const auto xfer =
+      links_[link_idx]->upstream().submit_ex(at_link, flits, request.id);
+  if (h_lat_link_up_ != nullptr) {
+    h_lat_link_up_->sample((xfer.deliver - xfer.start) /
+                           sim::kCpuTicksPerCycle);
+  }
+  const Tick at_host = xfer.deliver;
   sim_.schedule_at(at_host, [this, request] { deliver_(request); });
 }
 

@@ -36,7 +36,8 @@ class HmcDevice {
 
   HmcDevice(sim::Simulator& sim, const HmcConfig& config,
             prefetch::SchemeKind scheme, const prefetch::SchemeParams& params,
-            StatRegistry* stats, DeliverFn deliver);
+            StatRegistry* stats, DeliverFn deliver,
+            obs::TraceRecorder* trace = nullptr);
 
   /// Sends a demand request into the cube at `now` (reads get a later
   /// deliver() call; writes are posted).
@@ -87,6 +88,12 @@ class HmcDevice {
   Crossbar up_xbar_;    ///< Vault -> link ports.
   std::vector<std::unique_ptr<VaultController>> vaults_;
   DeliverFn deliver_;
+  obs::TraceRecorder* trace_ = nullptr;
+
+  // Latency breakdown (CPU cycles). Null when no registry was provided.
+  Histogram* h_lat_host_queue_ = nullptr;  ///< submit -> link start.
+  Histogram* h_lat_link_down_ = nullptr;   ///< Link start -> vault side.
+  Histogram* h_lat_link_up_ = nullptr;     ///< Vault side -> host side.
 };
 
 }  // namespace camps::hmc

@@ -5,10 +5,17 @@ namespace camps::hmc {
 HostController::HostController(sim::Simulator& sim, const HmcConfig& config,
                                prefetch::SchemeKind scheme,
                                const prefetch::SchemeParams& params,
-                               StatRegistry* stats)
+                               StatRegistry* stats, obs::TraceRecorder* trace)
     : sim_(sim),
       device_(sim, config, scheme, params, stats,
-              [this](const MemRequest& req) { deliver(req); }) {}
+              [this](const MemRequest& req) { deliver(req); }, trace),
+      trace_(trace) {
+  if (stats != nullptr) {
+    h_lat_total_read_ = &stats->histogram("latency.total_read_cycles",
+                                          /*bucket_width=*/32,
+                                          /*num_buckets=*/128);
+  }
+}
 
 u64 HostController::read(Addr addr, CoreId core, CompletionFn on_done) {
   MemRequest req;
@@ -41,6 +48,11 @@ void HostController::deliver(const MemRequest& request) {
   const u64 cycles =
       (sim_.now() - request.created) / sim::kCpuTicksPerCycle;
   latency_.sample(cycles);
+  if (h_lat_total_read_ != nullptr) h_lat_total_read_->sample(cycles);
+  if (trace_ != nullptr) {
+    trace_->record(obs::Stage::kHostRead, request.core, request.id,
+                   request.created, sim_.now());
+  }
   latency_cycles_total_ += cycles;
   ++completed_;
   CompletionFn on_done = std::move(it->second);

@@ -19,7 +19,8 @@ class HostController {
 
   HostController(sim::Simulator& sim, const HmcConfig& config,
                  prefetch::SchemeKind scheme,
-                 const prefetch::SchemeParams& params, StatRegistry* stats);
+                 const prefetch::SchemeParams& params, StatRegistry* stats,
+                 obs::TraceRecorder* trace = nullptr);
 
   /// Issues a read; `on_done` fires when the response returns.
   u64 read(Addr addr, CoreId core, CompletionFn on_done);
@@ -49,8 +50,10 @@ class HostController {
 
   sim::Simulator& sim_;
   HmcDevice device_;
+  obs::TraceRecorder* trace_ = nullptr;
   std::unordered_map<u64, CompletionFn> outstanding_;
   Histogram latency_{/*bucket_width=*/25, /*num_buckets=*/128};
+  Histogram* h_lat_total_read_ = nullptr;  ///< Registry copy of latency_.
   u64 next_id_ = 1;
   u64 reads_ = 0, writes_ = 0, completed_ = 0;
   u64 latency_cycles_total_ = 0;

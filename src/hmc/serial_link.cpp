@@ -21,7 +21,8 @@ Tick LinkDirection::serialization_ticks(u32 flits) const {
   return static_cast<Tick>(std::ceil(ns * static_cast<double>(sim::kTicksPerNs)));
 }
 
-Tick LinkDirection::submit(Tick now, u32 flits) {
+LinkDirection::Transfer LinkDirection::submit_ex(Tick now, u32 flits,
+                                                 u64 trace_id) {
   CAMPS_ASSERT(flits > 0);
   Tick start = std::max(now, busy_until_);
   if (p_.power_management && packets_carried_ > 0 &&
@@ -37,7 +38,11 @@ Tick LinkDirection::submit(Tick now, u32 flits) {
   busy_ticks_ += ser;
   flits_carried_ += flits;
   ++packets_carried_;
-  return busy_until_ + p_.flight_ticks;
+  const Tick deliver = busy_until_ + p_.flight_ticks;
+  if (trace_ != nullptr) {
+    trace_->record(trace_stage_, trace_track_, trace_id, start, deliver);
+  }
+  return Transfer{start, deliver};
 }
 
 }  // namespace camps::hmc

@@ -12,6 +12,7 @@
 
 #include "common/types.hpp"
 #include "hmc/packet.hpp"
+#include "obs/trace_recorder.hpp"
 
 namespace camps::hmc {
 
@@ -36,9 +37,32 @@ class LinkDirection {
  public:
   explicit LinkDirection(const LinkParams& params = {});
 
+  /// A packet's passage through this direction: serialization begins at
+  /// `start` (>= submission time when the pipe is backed up or waking) and
+  /// the far end receives the last flit at `deliver`.
+  struct Transfer {
+    Tick start = 0;
+    Tick deliver = 0;
+  };
+
   /// Accepts a packet at `now`; returns its delivery tick at the far end.
-  /// Packets serialize in submission order (FIFO).
-  Tick submit(Tick now, u32 flits);
+  /// Packets serialize in submission order (FIFO). `trace_id` tags the
+  /// serialization span when tracing is armed.
+  Tick submit(Tick now, u32 flits, u64 trace_id = 0) {
+    return submit_ex(now, flits, trace_id).deliver;
+  }
+
+  /// submit() variant exposing when serialization actually started, for
+  /// host-queue-wait accounting.
+  Transfer submit_ex(Tick now, u32 flits, u64 trace_id = 0);
+
+  /// Arms span recording for this direction (stage kLinkDown or kLinkUp,
+  /// lane = link index).
+  void attach_trace(obs::TraceRecorder* trace, obs::Stage stage, u32 track) {
+    trace_ = trace;
+    trace_stage_ = stage;
+    trace_track_ = track;
+  }
 
   /// Serialization ticks for `flits` flits at this link's bandwidth.
   Tick serialization_ticks(u32 flits) const;
@@ -65,6 +89,9 @@ class LinkDirection {
 
  private:
   LinkParams p_;
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::Stage trace_stage_ = obs::Stage::kLinkDown;
+  u32 trace_track_ = 0;
   Tick busy_until_ = 0;
   Tick busy_ticks_ = 0;
   u64 flits_carried_ = 0;

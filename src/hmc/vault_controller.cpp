@@ -11,7 +11,8 @@ using energy::EnergyEvent;
 VaultController::VaultController(
     sim::Simulator& sim, VaultId id, const VaultConfig& config,
     std::unique_ptr<prefetch::PrefetchScheme> scheme,
-    energy::EnergyModel* energy, StatRegistry* stats, RespondFn respond)
+    energy::EnergyModel* energy, StatRegistry* stats, RespondFn respond,
+    obs::TraceRecorder* trace)
     : sim_(sim),
       id_(id),
       cfg_(config),
@@ -20,7 +21,8 @@ VaultController::VaultController(
       scheme_(std::move(scheme)),
       refresh_(cfg_.timing, cfg_.refresh_enabled),
       energy_(energy),
-      respond_(std::move(respond)) {
+      respond_(std::move(respond)),
+      trace_(trace) {
   CAMPS_ASSERT(cfg_.banks > 0 && cfg_.banks <= 32);  // scheduler bank bitmask
   CAMPS_ASSERT(cfg_.read_queue > 0 && cfg_.write_queue > 0);
   CAMPS_ASSERT(cfg_.write_drain_low < cfg_.write_drain_high);
@@ -38,7 +40,22 @@ VaultController::VaultController(
     c_prefetch_ = &stats->counter(prefix + "prefetch_issued");
     h_queue_wait_ = &stats->histogram(prefix + "queue_wait_cycles",
                                       /*bucket_width=*/8, /*num_buckets=*/64);
+    // Shared across vaults: the registry hands back the same histogram for
+    // every vault, so these aggregate device-wide.
+    h_lat_vault_queue_ = &stats->histogram("latency.vault_queue_cycles",
+                                           /*bucket_width=*/16,
+                                           /*num_buckets=*/128);
+    h_lat_bank_service_ = &stats->histogram("latency.bank_service_cycles",
+                                            /*bucket_width=*/8,
+                                            /*num_buckets=*/64);
+    h_lat_buffer_hit_ = &stats->histogram("latency.buffer_hit_cycles",
+                                          /*bucket_width=*/2,
+                                          /*num_buckets=*/32);
   }
+  for (u32 b = 0; b < cfg_.banks; ++b) {
+    banks_[b].attach_trace(trace_, id_ * cfg_.banks + b);
+  }
+  buffer_.attach_trace(trace_, id_, sim::kDramTicksPerCycle);
 }
 
 void VaultController::reset_stats() {
@@ -138,6 +155,17 @@ bool VaultController::serve_from_buffer(const QueueEntry& entry, u64 cycle,
                  /*fill_touch=*/predates_insert);
   if (c_buf_hit_ != nullptr) c_buf_hit_->inc();
   if (energy_ != nullptr) energy_->add(EnergyEvent::kBufferAccess);
+  if (h_lat_buffer_hit_ != nullptr) {
+    h_lat_buffer_hit_->sample(cfg_.buffer.hit_latency);
+  }
+  if (h_lat_vault_queue_ != nullptr) {
+    h_lat_vault_queue_->sample(
+        cpu_cycles_of_dram(cycle - std::min(cycle, entry.enqueue_cycle)));
+  }
+  if (trace_ != nullptr) {
+    trace_->record(obs::Stage::kBufferHit, id_, entry.req.id, tick_of(cycle),
+                   tick_of(cycle) + buffer_hit_ticks_);
+  }
   prefetch::AccessContext ctx{.bank = entry.bank,
                               .row = entry.row,
                               .line = entry.column,
@@ -273,7 +301,7 @@ u64 VaultController::row_reference_bitmap(BankId bank, RowId row) const {
 void VaultController::serve_via_fetch(const QueueEntry& entry, u64 cycle,
                                       bool precharge_after) {
   dram::Bank& bank = banks_[entry.bank];
-  const u64 done = bank.fetch_row(cycle);
+  const u64 done = bank.fetch_row(cycle, entry.req.id);
   if (cfg_.row_fetch_uses_bus) bus_free_cycle_ = done;
   if (energy_ != nullptr) energy_->add(EnergyEvent::kRowFetch);
 
@@ -361,12 +389,18 @@ bool VaultController::issue_demand_column(u64 cycle) {
     }
 
     note_row_reference(it->bank, it->row, it->column);
-    if (h_queue_wait_ != nullptr) {
-      h_queue_wait_->sample(cycle - std::min(cycle, it->enqueue_cycle));
+    const u64 waited = cycle - std::min(cycle, it->enqueue_cycle);
+    if (h_queue_wait_ != nullptr) h_queue_wait_->sample(waited);
+    if (h_lat_vault_queue_ != nullptr) {
+      h_lat_vault_queue_->sample(cpu_cycles_of_dram(waited));
+    }
+    if (trace_ != nullptr && waited > 0) {
+      trace_->record(obs::Stage::kVaultQueue, id_, it->req.id,
+                     tick_of(cycle - waited), tick_of(cycle));
     }
     u64 done;
     if (it->req.type == AccessType::kRead) {
-      done = bank.read(cycle);
+      done = bank.read(cycle, it->req.id);
       ++n_reads_;
       ++inflight_;
       if (energy_ != nullptr) energy_->add(EnergyEvent::kReadLine);
@@ -377,10 +411,13 @@ bool VaultController::issue_demand_column(u64 cycle) {
         respond_(req, ready);
       });
     } else {
-      done = bank.write(cycle);
+      done = bank.write(cycle, it->req.id);
       ++n_writes_;
       if (energy_ != nullptr) energy_->add(EnergyEvent::kWriteLine);
       // Posted write: completes silently.
+    }
+    if (h_lat_bank_service_ != nullptr) {
+      h_lat_bank_service_->sample(cpu_cycles_of_dram(done - cycle));
     }
     bus_free_cycle_ = done;
     apply_decision(decision, *it);
@@ -436,7 +473,7 @@ bool VaultController::advance_demand_bank(u64 cycle) {
       case dram::BankState::kPrecharged:
         if (bank.earliest_activate(cycle) == cycle && act_allowed(cycle)) {
           classify_if_new(entry, cycle);
-          bank.activate(cycle, entry.row);
+          bank.activate(cycle, entry.row, entry.req.id);
           record_act(cycle);
           if (energy_ != nullptr) energy_->add(EnergyEvent::kActivate);
           return true;

@@ -25,6 +25,7 @@
 #include "energy/energy_model.hpp"
 #include "hmc/address_map.hpp"
 #include "hmc/packet.hpp"
+#include "obs/trace_recorder.hpp"
 #include "prefetch/prefetch_buffer.hpp"
 #include "prefetch/scheme.hpp"
 #include "sim/clock.hpp"
@@ -69,7 +70,7 @@ class VaultController {
   VaultController(sim::Simulator& sim, VaultId id, const VaultConfig& config,
                   std::unique_ptr<prefetch::PrefetchScheme> scheme,
                   energy::EnergyModel* energy, StatRegistry* stats,
-                  RespondFn respond);
+                  RespondFn respond, obs::TraceRecorder* trace = nullptr);
 
   VaultController(const VaultController&) = delete;
   VaultController& operator=(const VaultController&) = delete;
@@ -215,6 +216,19 @@ class VaultController {
   Counter* c_buf_hit_ = nullptr;
   Counter* c_prefetch_ = nullptr;
   Histogram* h_queue_wait_ = nullptr;  ///< DRAM cycles from enqueue to issue.
+
+  // Device-wide latency breakdown (registry entries shared by all vaults;
+  // all in CPU cycles). Null when no registry was provided.
+  Histogram* h_lat_vault_queue_ = nullptr;  ///< Enqueue -> leave the queue.
+  Histogram* h_lat_bank_service_ = nullptr; ///< Column issue -> data done.
+  Histogram* h_lat_buffer_hit_ = nullptr;   ///< Prefetch-buffer hit serves.
+
+  obs::TraceRecorder* trace_ = nullptr;
+
+  /// Whole CPU cycles spanned by `cycles` DRAM cycles.
+  static u64 cpu_cycles_of_dram(u64 cycles) {
+    return cycles * sim::kDramTicksPerCycle / sim::kCpuTicksPerCycle;
+  }
 };
 
 }  // namespace camps::hmc

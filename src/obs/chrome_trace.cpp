@@ -1,0 +1,114 @@
+#include "obs/chrome_trace.hpp"
+
+#include <map>
+
+#include "common/json.hpp"
+
+namespace camps::obs {
+namespace {
+
+/// Simulated microseconds for a tick count (24 ticks per ns).
+double ticks_to_us(Tick t) { return static_cast<double>(t) / 24000.0; }
+
+/// Maps a span to a viewer thread id and a human lane name. Tracks from
+/// different components overlap numerically (core 3, vault 3, link 3), so
+/// each component family gets its own tid block.
+std::pair<u64, std::string> lane_of(const Span& s) {
+  switch (s.stage) {
+    case Stage::kHostRead:
+    case Stage::kHostQueue:
+      return {s.track, "core" + std::to_string(s.track)};
+    case Stage::kLinkDown:
+    case Stage::kLinkUp:
+      return {1000 + s.track, "link" + std::to_string(s.track)};
+    case Stage::kXbarDown:
+    case Stage::kXbarUp:
+      return {2000 + s.track, "xbar_port" + std::to_string(s.track)};
+    case Stage::kVaultQueue:
+    case Stage::kBufferHit:
+    case Stage::kPfInsert:
+    case Stage::kPfEvict:
+      return {3000 + s.track, "vault" + std::to_string(s.track)};
+    case Stage::kBankAct:
+    case Stage::kBankPre:
+    case Stage::kBankService:
+    case Stage::kRowFetch:
+    case Stage::kCount:
+      break;
+  }
+  return {4000 + s.track, "bank" + std::to_string(s.track)};
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<TraceRun>& runs) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("displayTimeUnit", "ms");
+  w.key("traceEvents");
+  w.begin_array();
+  for (size_t pid = 0; pid < runs.size(); ++pid) {
+    const TraceRun& run = runs[pid];
+    w.begin_object();
+    w.field("name", "process_name");
+    w.field("ph", "M");
+    w.field("pid", static_cast<u64>(pid));
+    w.key("args");
+    w.begin_object();
+    w.field("name", run.name);
+    w.end_object();
+    w.end_object();
+    if (run.spans == nullptr) continue;
+
+    // Lane (thread) names, in deterministic tid order.
+    std::map<u64, std::string> lanes;
+    for (const Span& s : *run.spans) lanes.insert(lane_of(s));
+    for (const auto& [tid, name] : lanes) {
+      w.begin_object();
+      w.field("name", "thread_name");
+      w.field("ph", "M");
+      w.field("pid", static_cast<u64>(pid));
+      w.field("tid", tid);
+      w.key("args");
+      w.begin_object();
+      w.field("name", name);
+      w.end_object();
+      w.end_object();
+    }
+
+    for (const Span& s : *run.spans) {
+      const u64 tid = lane_of(s).first;
+      w.begin_object();
+      w.field("name", to_string(s.stage));
+      w.field("cat", "camps");
+      if (s.end > s.begin) {
+        w.field("ph", "X");
+        w.field("ts", ticks_to_us(s.begin));
+        w.field("dur", ticks_to_us(s.end - s.begin));
+      } else {
+        w.field("ph", "i");
+        w.field("ts", ticks_to_us(s.begin));
+        w.field("s", "t");
+      }
+      w.field("pid", static_cast<u64>(pid));
+      w.field("tid", tid);
+      if (s.id != 0) {
+        w.key("args");
+        w.begin_object();
+        w.field("id", s.id);
+        w.end_object();
+      }
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+void write_chrome_trace(const std::string& path,
+                        const std::vector<TraceRun>& runs) {
+  write_text_file(path, chrome_trace_json(runs));
+}
+
+}  // namespace camps::obs

@@ -1,0 +1,33 @@
+// Chrome trace-event JSON export.
+//
+// Renders recorded spans in the Trace Event Format understood by
+// chrome://tracing and https://ui.perfetto.dev: each simulation run becomes
+// one "process" (pid = run index, named after the run), each span track one
+// "thread", spans become complete ("ph":"X") events and instants become
+// "ph":"i". Timestamps are microseconds of *simulated* time (ticks / 24000),
+// so a trace is byte-identical for any --jobs=N.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace_recorder.hpp"
+
+namespace camps::obs {
+
+/// One run's worth of spans, already tick-ordered (see
+/// TraceRecorder::sorted_spans), plus its display name.
+struct TraceRun {
+  std::string name;                 ///< e.g. "MX1/CAMPS-MOD".
+  const std::vector<Span>* spans = nullptr;
+};
+
+/// Renders `runs` as one Chrome trace JSON document.
+std::string chrome_trace_json(const std::vector<TraceRun>& runs);
+
+/// chrome_trace_json + write to `path` (throws std::runtime_error on I/O
+/// failure).
+void write_chrome_trace(const std::string& path,
+                        const std::vector<TraceRun>& runs);
+
+}  // namespace camps::obs

@@ -1,0 +1,84 @@
+// Epoch time-series sampler.
+//
+// Snapshots a fixed set of whole-device counters every N ticks of simulated
+// time, producing the row-conflict / buffer-occupancy / link-utilization
+// time series the paper's per-stage argument is about (conflict-caused bank
+// time turning into buffer hits over the run, not just in the end-of-run
+// totals). Samples are pure reads of simulation state — the sampler's
+// events never mutate anything, so enabling it cannot change simulated
+// results — and sampling stops rescheduling as soon as the supplied
+// keep-going predicate turns false, so it never keeps the event queue alive
+// past the measurement window.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace camps::obs {
+
+/// One epoch snapshot. Counters are cumulative since the last stats reset
+/// (the measurement-window open); rates are over the same span. Consumers
+/// difference adjacent rows for per-epoch behaviour.
+struct EpochSample {
+  Tick tick = 0;
+  u64 row_hits = 0;
+  u64 row_empties = 0;
+  u64 row_conflicts = 0;
+  double row_conflict_rate = 0.0;
+  u64 prefetches_issued = 0;
+  double prefetch_accuracy = 0.0;
+  u64 buffer_hits = 0;
+  u64 buffer_misses = 0;
+  double buffer_hit_rate = 0.0;
+  u64 buffer_occupancy = 0;  ///< Rows resident across all vault buffers.
+  Tick link_down_busy_ticks = 0;
+  Tick link_up_busy_ticks = 0;
+  u64 demand_reads = 0;
+  u64 demand_writes = 0;
+};
+
+class EpochSampler {
+ public:
+  using SampleFn = std::function<EpochSample()>;
+  using KeepGoingFn = std::function<bool()>;
+
+  /// Samples every `epoch_ticks` while `keep_going()` holds. `sample()`
+  /// must fill every field except `tick` (stamped by the sampler).
+  EpochSampler(sim::Simulator& sim, Tick epoch_ticks, SampleFn sample,
+               KeepGoingFn keep_going);
+
+  /// Schedules the first sample one epoch from now. Call once.
+  void start();
+
+  const std::vector<EpochSample>& samples() const { return samples_; }
+
+  /// CSV rendering, one fixed header row plus one row per epoch.
+  std::string to_csv() const { return series_csv(samples_); }
+  /// JSON rendering: {"epoch_ticks": N, "samples": [{...}, ...]}.
+  std::string to_json(int indent = 0) const {
+    return series_json(samples_, epoch_ticks_, indent);
+  }
+
+  // Static variants for callers holding a sample vector without a sampler
+  // (RunResults carries the series across the sweep cache).
+  static std::string series_csv(const std::vector<EpochSample>& samples);
+  static std::string series_json(const std::vector<EpochSample>& samples,
+                                 Tick epoch_ticks, int indent = 0);
+
+  void write_csv(const std::string& path) const;
+  void write_json(const std::string& path) const;
+
+ private:
+  void fire();
+
+  sim::Simulator& sim_;
+  Tick epoch_ticks_;
+  SampleFn sample_;
+  KeepGoingFn keep_going_;
+  std::vector<EpochSample> samples_;
+};
+
+}  // namespace camps::obs

@@ -1,0 +1,59 @@
+#include "obs/trace_recorder.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace camps::obs {
+
+const char* to_string(Stage stage) {
+  switch (stage) {
+    case Stage::kHostRead: return "host_read";
+    case Stage::kHostQueue: return "host_queue";
+    case Stage::kLinkDown: return "link_down";
+    case Stage::kLinkUp: return "link_up";
+    case Stage::kXbarDown: return "xbar_down";
+    case Stage::kXbarUp: return "xbar_up";
+    case Stage::kVaultQueue: return "vault_queue";
+    case Stage::kBufferHit: return "buffer_hit";
+    case Stage::kBankAct: return "bank_act";
+    case Stage::kBankPre: return "bank_pre";
+    case Stage::kBankService: return "bank_service";
+    case Stage::kRowFetch: return "row_fetch";
+    case Stage::kPfInsert: return "pf_insert";
+    case Stage::kPfEvict: return "pf_evict";
+    case Stage::kCount: break;
+  }
+  return "?";
+}
+
+void TraceRecorder::enable(size_t capacity) {
+  ring_.assign(capacity, Span{});
+  next_ = 0;
+  recorded_ = 0;
+  enabled_ = capacity > 0;
+}
+
+std::vector<Span> TraceRecorder::sorted_spans() const {
+  std::vector<Span> out;
+  out.reserve(size());
+  if (recorded_ < ring_.size()) {
+    out.assign(ring_.begin(), ring_.begin() + static_cast<long>(recorded_));
+  } else {
+    // Ring wrapped: oldest retained span sits at next_.
+    out.assign(ring_.begin() + static_cast<long>(next_), ring_.end());
+    out.insert(out.end(), ring_.begin(), ring_.begin() + static_cast<long>(next_));
+  }
+  std::sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
+    return std::tie(a.begin, a.end, a.stage, a.track, a.id) <
+           std::tie(b.begin, b.end, b.stage, b.track, b.id);
+  });
+  return out;
+}
+
+void TraceRecorder::clear() {
+  std::fill(ring_.begin(), ring_.end(), Span{});
+  next_ = 0;
+  recorded_ = 0;
+}
+
+}  // namespace camps::obs

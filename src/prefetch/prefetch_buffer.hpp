@@ -15,6 +15,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/trace_recorder.hpp"
 #include "prefetch/replacement.hpp"
 
 namespace camps::prefetch {
@@ -43,6 +44,16 @@ class PrefetchBuffer {
  public:
   PrefetchBuffer(const PrefetchBufferConfig& config,
                  std::unique_ptr<ReplacementPolicy> policy);
+
+  /// Arms span recording: inserts and evictions become instant events on
+  /// the vault's trace lane. `ticks_per_stamp` converts the controller's
+  /// insert stamps (DRAM cycles) to global ticks.
+  void attach_trace(obs::TraceRecorder* trace, u32 track,
+                    u64 ticks_per_stamp) {
+    trace_ = trace;
+    trace_track_ = track;
+    trace_ticks_per_stamp_ = ticks_per_stamp;
+  }
 
   /// True if `row` is resident (no state change; used by the scheduler to
   /// filter redundant prefetches).
@@ -148,6 +159,9 @@ class PrefetchBuffer {
 
   PrefetchBufferConfig cfg_;
   std::unique_ptr<ReplacementPolicy> policy_;
+  obs::TraceRecorder* trace_ = nullptr;
+  u32 trace_track_ = 0;
+  u64 trace_ticks_per_stamp_ = 1;
   std::vector<Entry> slots_;
   std::vector<u32> mru_order_;  ///< Front = MRU; holds valid slot indices.
 

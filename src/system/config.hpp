@@ -5,6 +5,7 @@
 #include "common/config_file.hpp"
 #include "cpu/core.hpp"
 #include "hmc/hmc_device.hpp"
+#include "obs/obs_config.hpp"
 #include "prefetch/factory.hpp"
 #include "trace/patterns.hpp"
 
@@ -18,6 +19,7 @@ struct SystemConfig {
   prefetch::SchemeKind scheme = prefetch::SchemeKind::kCampsMod;
   prefetch::SchemeParams scheme_params;
   u64 seed = 1;                      ///< Workload generation seed.
+  obs::ObsConfig obs;                ///< Tracing / epoch-sampling knobs.
   /// Hard wall-clock bound for one run, in simulated CPU cycles; a run
   /// that hasn't finished its measurement window by then stops and reports
   /// partial=true (prevents hangs on mis-tuned configurations).

@@ -3,7 +3,26 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/json.hpp"
+
 namespace camps::system {
+
+namespace {
+
+/// Stage rows for iterating the breakdown in a fixed, documented order.
+struct StageRow {
+  const char* name;
+  const StageStats* stats;
+};
+
+std::vector<StageRow> stage_rows(const LatencyBreakdown& b) {
+  return {{"host_queue", &b.host_queue},   {"link_down", &b.link_down},
+          {"link_up", &b.link_up},         {"vault_queue", &b.vault_queue},
+          {"bank_service", &b.bank_service}, {"buffer_hit", &b.buffer_hit},
+          {"total_read", &b.total_read}};
+}
+
+}  // namespace
 
 double geometric_mean(const std::vector<double>& values) {
   if (values.empty()) return 0.0;
@@ -35,7 +54,72 @@ std::string RunResults::summary() const {
   out << "HMC energy (uJ)  : " << energy_pj / 1e6 << '\n';
   out << "link util dn/up  : " << link_down_utilization * 100.0 << "% / "
       << link_up_utilization * 100.0 << "%\n";
+  if (latency.total_read.count > 0) {
+    out << "latency breakdown (CPU cycles, mean / p95):\n";
+    for (const auto& row : stage_rows(latency)) {
+      if (row.stats->count == 0) continue;
+      out << "  " << row.name << " : " << row.stats->mean << " / "
+          << row.stats->p95 << "  (" << row.stats->count << " samples)\n";
+    }
+  }
   return out.str();
+}
+
+std::string RunResults::to_json(int indent) const {
+  JsonWriter w(indent);
+  w.begin_object();
+  w.field("scheme", scheme);
+  w.field("geomean_ipc", geomean_ipc);
+  w.field("amat_cycles", amat_cycles);
+  w.field("mem_latency_cycles", mem_latency_cycles);
+  w.field("mpki", mpki);
+  w.field("row_hits", row_hits);
+  w.field("row_empties", row_empties);
+  w.field("row_conflicts", row_conflicts);
+  w.field("row_conflict_rate", row_conflict_rate);
+  w.field("prefetches", prefetches);
+  w.field("prefetch_accuracy", prefetch_accuracy);
+  w.field("buffer_hits", buffer_hits);
+  w.field("buffer_misses", buffer_misses);
+  w.field("buffer_hit_rate", buffer_hit_rate);
+  w.field("energy_pj", energy_pj);
+  w.field("link_down_utilization", link_down_utilization);
+  w.field("link_up_utilization", link_up_utilization);
+  w.field("link_wakeups", link_wakeups);
+  w.field("memory_reads", memory_reads);
+  w.field("memory_writes", memory_writes);
+  w.field("measure_span_ticks", measure_span_ticks);
+  w.field("partial", partial);
+  w.field("events_executed", events_executed);
+  w.key("cores");
+  w.begin_array();
+  for (const auto& core : cores) {
+    w.begin_object();
+    w.field("ipc", core.ipc);
+    w.field("instructions", core.instructions);
+    w.field("loads", core.loads);
+    w.field("stores", core.stores);
+    w.field("stall_cycles", core.stall_cycles);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("latency");
+  w.begin_object();
+  for (const auto& row : stage_rows(latency)) {
+    w.key(row.name);
+    w.begin_object();
+    w.field("count", row.stats->count);
+    w.field("mean", row.stats->mean);
+    w.field("p50", row.stats->p50);
+    w.field("p95", row.stats->p95);
+    w.field("p99", row.stats->p99);
+    w.end_object();
+  }
+  w.end_object();
+  w.field("trace_recorded", trace_recorded);
+  w.field("trace_dropped", trace_dropped);
+  w.end_object();
+  return w.str();
 }
 
 }  // namespace camps::system

@@ -2,12 +2,37 @@
 // is built from.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/epoch_sampler.hpp"
+#include "obs/trace_recorder.hpp"
 
 namespace camps::system {
+
+/// Summary of one latency-breakdown histogram (all values in CPU cycles).
+struct StageStats {
+  u64 count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Where a memory read's cycles went, stage by stage. Stages are measured
+/// independently (each request contributes to every stage it crossed), so
+/// the means do not sum exactly to total_read.
+struct LatencyBreakdown {
+  StageStats host_queue;    ///< Waiting for a free downstream link slot.
+  StageStats link_down;     ///< Request serialization + flight.
+  StageStats link_up;       ///< Response serialization + flight.
+  StageStats vault_queue;   ///< Vault read/write queue wait.
+  StageStats bank_service;  ///< Column command to data done.
+  StageStats buffer_hit;    ///< Prefetch-buffer serves.
+  StageStats total_read;    ///< Whole round trip (host submit -> deliver).
+};
 
 struct CoreResult {
   double ipc = 0.0;          ///< Measured-window IPC.
@@ -59,6 +84,18 @@ struct RunResults {
   Tick measure_span_ticks = 0;
   bool partial = false;  ///< True if the run hit the max_cycles bound.
 
+  /// Per-stage latency breakdown (populated when the run had a registry).
+  LatencyBreakdown latency;
+
+  // Request-lifecycle trace (empty unless SystemConfig::obs enabled it).
+  // Shared so RunResults stays cheaply copyable in the sweep caches.
+  std::shared_ptr<const std::vector<obs::Span>> trace_spans;
+  u64 trace_recorded = 0;  ///< Spans recorded (>= trace_spans->size()).
+  u64 trace_dropped = 0;   ///< Spans overwritten in the ring buffer.
+
+  /// Epoch time-series (null unless SystemConfig::obs::epoch_ticks > 0).
+  std::shared_ptr<const std::vector<obs::EpochSample>> epochs;
+
   // Host-side performance of the simulation itself (not simulated time).
   // events_executed is deterministic; wall_seconds is not, so identical-run
   // comparisons must exclude it.
@@ -67,6 +104,11 @@ struct RunResults {
 
   /// Multi-line human-readable summary.
   std::string summary() const;
+
+  /// Machine-readable JSON object. Deterministic for a fixed run: the
+  /// non-deterministic wall_seconds field is deliberately excluded, and
+  /// everything else is byte-stable across --jobs values.
+  std::string to_json(int indent = 0) const;
 };
 
 /// Geometric mean helper (0 if any element is <= 0 or the vector is empty).

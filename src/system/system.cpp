@@ -55,8 +55,9 @@ System::System(const SystemConfig& config,
     : cfg_(config) {
   CAMPS_ASSERT_MSG(traces.size() == cfg_.cores,
                    "one trace source per core required");
+  if (cfg_.obs.trace_enabled) trace_.enable(cfg_.obs.trace_capacity);
   host_ = std::make_unique<hmc::HostController>(
-      sim_, cfg_.hmc, cfg_.scheme, cfg_.scheme_params, &stats_);
+      sim_, cfg_.hmc, cfg_.scheme, cfg_.scheme_params, &stats_, &trace_);
   adapter_ = std::make_unique<MemoryAdapter>(host_.get());
   caches_ = std::make_unique<cache::CacheHierarchy>(sim_, cfg_.caches,
                                                     cfg_.cores, adapter_.get());
@@ -84,6 +85,7 @@ void System::on_core_warmed(CoreId /*core*/) {
   host_->reset_stats();
   caches_->reset_stats();
   stats_.reset();
+  trace_.clear();  // the exported trace covers the measurement window
   instr_at_window_start_ = 0;
   for (const auto& core : cores_) {
     instr_at_window_start_ += core->instructions_issued();
@@ -98,6 +100,12 @@ RunResults System::run() {
   CAMPS_ASSERT_MSG(!ran_, "System::run() may be called once");
   ran_ = true;
   const auto wall_start = std::chrono::steady_clock::now();
+  if (cfg_.obs.epoch_ticks > 0) {
+    epoch_sampler_ = std::make_unique<obs::EpochSampler>(
+        sim_, cfg_.obs.epoch_ticks, [this] { return sample_epoch(); },
+        [this] { return measured_ != cfg_.cores; });
+    epoch_sampler_->start();
+  }
   for (auto& core : cores_) core->start();
   const Tick bound = cfg_.max_cycles * sim::kCpuTicksPerCycle;
   sim_.run_while_pending([&] {
@@ -179,7 +187,63 @@ RunResults System::collect_results() const {
         static_cast<double>(device.link_busy_ticks_up()) / span;
   }
   r.link_wakeups = device.link_wakeups();
+
+  auto stage_of = [this](const char* name) {
+    StageStats s;
+    const Histogram* h = stats_.find_histogram(name);
+    if (h == nullptr || h->count() == 0) return s;
+    s.count = h->count();
+    s.mean = h->mean();
+    s.p50 = h->percentile(50.0);
+    s.p95 = h->percentile(95.0);
+    s.p99 = h->percentile(99.0);
+    return s;
+  };
+  r.latency.host_queue = stage_of("latency.host_queue_cycles");
+  r.latency.link_down = stage_of("latency.link_down_cycles");
+  r.latency.link_up = stage_of("latency.link_up_cycles");
+  r.latency.vault_queue = stage_of("latency.vault_queue_cycles");
+  r.latency.bank_service = stage_of("latency.bank_service_cycles");
+  r.latency.buffer_hit = stage_of("latency.buffer_hit_cycles");
+  r.latency.total_read = stage_of("latency.total_read_cycles");
+
+  if (trace_.enabled()) {
+    r.trace_spans = std::make_shared<const std::vector<obs::Span>>(
+        trace_.sorted_spans());
+    r.trace_recorded = trace_.recorded();
+    r.trace_dropped = trace_.dropped();
+  }
+  if (epoch_sampler_ != nullptr) {
+    r.epochs = std::make_shared<const std::vector<obs::EpochSample>>(
+        epoch_sampler_->samples());
+  }
   return r;
+}
+
+obs::EpochSample System::sample_epoch() const {
+  obs::EpochSample s;
+  const auto& device = host_->device();
+  s.row_hits = device.total_row_hits();
+  s.row_empties = device.total_row_empties();
+  s.row_conflicts = device.total_row_conflicts();
+  s.row_conflict_rate = device.row_conflict_rate();
+  s.prefetches_issued = device.total_prefetches();
+  s.prefetch_accuracy = device.prefetch_accuracy();
+  s.buffer_hits = device.total_buffer_hits();
+  s.buffer_misses = device.total_buffer_misses();
+  const u64 lookups = s.buffer_hits + s.buffer_misses;
+  s.buffer_hit_rate = lookups == 0 ? 0.0
+                                   : static_cast<double>(s.buffer_hits) /
+                                         static_cast<double>(lookups);
+  s.link_down_busy_ticks = device.link_busy_ticks_down();
+  s.link_up_busy_ticks = device.link_busy_ticks_up();
+  for (VaultId v = 0; v < device.vault_count(); ++v) {
+    const auto& vault = device.vault(v);
+    s.buffer_occupancy += vault.buffer().size();
+    s.demand_reads += vault.demand_reads();
+    s.demand_writes += vault.demand_writes();
+  }
+  return s;
 }
 
 std::unique_ptr<System> make_workload_system(const SystemConfig& config,

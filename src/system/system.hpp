@@ -12,6 +12,8 @@
 
 #include "cpu/core.hpp"
 #include "hmc/host_controller.hpp"
+#include "obs/epoch_sampler.hpp"
+#include "obs/trace_recorder.hpp"
 #include "system/config.hpp"
 #include "system/results.hpp"
 
@@ -36,6 +38,7 @@ class System {
   hmc::HostController& memory() { return *host_; }
   const cpu::Core& core(CoreId id) const { return *cores_[id]; }
   StatRegistry& stats() { return stats_; }
+  obs::TraceRecorder& trace() { return trace_; }
 
  private:
   class MemoryAdapter;
@@ -44,9 +47,14 @@ class System {
   void on_core_measured(CoreId core);
   RunResults collect_results() const;
 
+  /// Fills one EpochSample from current device/cache state.
+  obs::EpochSample sample_epoch() const;
+
   SystemConfig cfg_;
   sim::Simulator sim_;
   StatRegistry stats_;
+  obs::TraceRecorder trace_;
+  std::unique_ptr<obs::EpochSampler> epoch_sampler_;
   std::unique_ptr<hmc::HostController> host_;
   std::unique_ptr<MemoryAdapter> adapter_;
   std::unique_ptr<cache::CacheHierarchy> caches_;

@@ -70,6 +70,31 @@ TEST(Histogram, PercentileOrdering) {
   EXPECT_NEAR(h.percentile(50), 50.0, 2.0);
 }
 
+TEST(Histogram, PercentileEdgeCases) {
+  // Empty histogram: every percentile is 0.
+  Histogram empty(10, 4);
+  EXPECT_DOUBLE_EQ(empty.percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.percentile(100), 0.0);
+
+  // Single sample: all percentiles land in its bucket (midpoint reported).
+  Histogram one(10, 4);
+  one.sample(17);
+  EXPECT_DOUBLE_EQ(one.percentile(0), 15.0);
+  EXPECT_DOUBLE_EQ(one.percentile(50), 15.0);
+  EXPECT_DOUBLE_EQ(one.percentile(100), 15.0);
+
+  // Out-of-range p clamps instead of reading past the distribution.
+  EXPECT_DOUBLE_EQ(one.percentile(-5), one.percentile(0));
+  EXPECT_DOUBLE_EQ(one.percentile(250), one.percentile(100));
+
+  // Samples past the last bucket land in the overflow bucket, which reports
+  // its lower edge (the bucketing can't know how far past it they went).
+  Histogram over(10, 4);  // tracked range [0, 40), overflow edge at 40
+  over.sample(1000);
+  EXPECT_DOUBLE_EQ(over.percentile(50), 40.0);
+  EXPECT_EQ(over.max(), 1000u);
+}
+
 TEST(Histogram, ResetClearsEverything) {
   Histogram h(10, 4);
   h.sample(3);

@@ -1,0 +1,64 @@
+#include "obs/chrome_trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace camps::obs {
+namespace {
+
+// Golden-file test: the exporter's output is a documented format, so pin the
+// exact bytes for a tiny span set covering a complete event ("ph":"X"), an
+// instant ("ph":"i"), an anonymous span (id 0 -> no args), and both
+// metadata record kinds.
+TEST(ChromeTrace, GoldenSmallTrace) {
+  const std::vector<Span> spans = {
+      {24000, 24000, 0, 3, Stage::kPfInsert},   // instant, vault3, anonymous
+      {24000, 48000, 7, 0, Stage::kHostRead},   // 1 us -> 2 us, core0
+      {36000, 60000, 7, 5, Stage::kBankService} // bank5
+  };
+  const std::string json = chrome_trace_json({TraceRun{"MX1/CAMPS", &spans}});
+
+  const std::string expected =
+      R"({"displayTimeUnit":"ms","traceEvents":[)"
+      R"({"name":"process_name","ph":"M","pid":0,"args":{"name":"MX1/CAMPS"}},)"
+      R"({"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"core0"}},)"
+      R"({"name":"thread_name","ph":"M","pid":0,"tid":3003,"args":{"name":"vault3"}},)"
+      R"({"name":"thread_name","ph":"M","pid":0,"tid":4005,"args":{"name":"bank5"}},)"
+      R"({"name":"pf_insert","cat":"camps","ph":"i","ts":1,"s":"t","pid":0,"tid":3003},)"
+      R"({"name":"host_read","cat":"camps","ph":"X","ts":1,"dur":1,"pid":0,"tid":0,"args":{"id":7}},)"
+      R"({"name":"bank_service","cat":"camps","ph":"X","ts":1.5,"dur":1,"pid":0,"tid":4005,"args":{"id":7}})"
+      R"(]})";
+  EXPECT_EQ(json, expected);
+}
+
+TEST(ChromeTrace, MultipleRunsGetDistinctPids) {
+  const std::vector<Span> a = {{0, 24, 1, 0, Stage::kHostRead}};
+  const std::vector<Span> b = {{0, 24, 2, 0, Stage::kHostRead}};
+  const std::string json =
+      chrome_trace_json({TraceRun{"runA", &a}, TraceRun{"runB", &b}});
+  EXPECT_NE(json.find(R"("pid":0,"args":{"name":"runA"})"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find(R"("pid":1,"args":{"name":"runB"})"), std::string::npos)
+      << json;
+}
+
+TEST(ChromeTrace, NullSpanVectorEmitsOnlyProcessMetadata) {
+  const std::string json =
+      chrome_trace_json({TraceRun{"empty", nullptr}});
+  const std::string expected =
+      R"({"displayTimeUnit":"ms","traceEvents":[)"
+      R"({"name":"process_name","ph":"M","pid":0,"args":{"name":"empty"}})"
+      R"(]})";
+  EXPECT_EQ(json, expected);
+}
+
+TEST(ChromeTrace, OutputIsDeterministic) {
+  const std::vector<Span> spans = {
+      {100, 200, 3, 2, Stage::kLinkDown},
+      {150, 150, 0, 2, Stage::kPfEvict},
+  };
+  const std::vector<TraceRun> runs = {TraceRun{"r", &spans}};
+  EXPECT_EQ(chrome_trace_json(runs), chrome_trace_json(runs));
+}
+
+}  // namespace
+}  // namespace camps::obs

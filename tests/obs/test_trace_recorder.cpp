@@ -1,0 +1,103 @@
+#include "obs/trace_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace camps::obs {
+namespace {
+
+TEST(TraceRecorder, DisabledByDefaultAndRecordIsNoOp) {
+  TraceRecorder rec;
+  EXPECT_FALSE(rec.enabled());
+  rec.record(Stage::kHostRead, 0, 1, 10, 20);
+  EXPECT_EQ(rec.recorded(), 0u);
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_TRUE(rec.sorted_spans().empty());
+}
+
+TEST(TraceRecorder, ZeroCapacityStaysDisabled) {
+  TraceRecorder rec;
+  rec.enable(0);
+  EXPECT_FALSE(rec.enabled());
+  rec.record(Stage::kLinkDown, 0, 1, 0, 5);
+  EXPECT_EQ(rec.recorded(), 0u);
+}
+
+TEST(TraceRecorder, RecordsUpToCapacity) {
+  TraceRecorder rec;
+  rec.enable(4);
+  EXPECT_TRUE(rec.enabled());
+  rec.record(Stage::kHostRead, 2, 7, 10, 40);
+  EXPECT_EQ(rec.recorded(), 1u);
+  EXPECT_EQ(rec.size(), 1u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  const auto spans = rec.sorted_spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0], (Span{10, 40, 7, 2, Stage::kHostRead}));
+}
+
+TEST(TraceRecorder, RingOverwritesOldestAndCountsDrops) {
+  TraceRecorder rec;
+  rec.enable(3);
+  for (u64 i = 0; i < 5; ++i) {
+    rec.record(Stage::kBankService, 0, i, i * 10, i * 10 + 5);
+  }
+  EXPECT_EQ(rec.recorded(), 5u);
+  EXPECT_EQ(rec.size(), 3u);
+  EXPECT_EQ(rec.dropped(), 2u);
+  // The two oldest spans (ids 0 and 1) were overwritten.
+  const auto spans = rec.sorted_spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].id, 2u);
+  EXPECT_EQ(spans[1].id, 3u);
+  EXPECT_EQ(spans[2].id, 4u);
+}
+
+TEST(TraceRecorder, SortedSpansOrdersByBeginEndStageTrackId) {
+  TraceRecorder rec;
+  rec.enable(8);
+  // Insert deliberately out of order.
+  rec.record(Stage::kLinkUp, 1, 4, 20, 30);
+  rec.record(Stage::kHostRead, 0, 1, 5, 50);
+  rec.record(Stage::kLinkDown, 0, 2, 20, 25);
+  rec.record(Stage::kLinkDown, 1, 3, 20, 25);
+  const auto spans = rec.sorted_spans();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].id, 1u);  // begin 5
+  EXPECT_EQ(spans[1].id, 2u);  // begin 20, end 25, track 0
+  EXPECT_EQ(spans[2].id, 3u);  // begin 20, end 25, track 1
+  EXPECT_EQ(spans[3].id, 4u);  // begin 20, end 30
+  // Sorting is deterministic: a second call yields the identical vector.
+  EXPECT_EQ(rec.sorted_spans(), spans);
+}
+
+TEST(TraceRecorder, ClearEmptiesButStaysEnabled) {
+  TraceRecorder rec;
+  rec.enable(4);
+  rec.record(Stage::kPfInsert, 0, 0, 7, 7);
+  rec.clear();
+  EXPECT_TRUE(rec.enabled());
+  EXPECT_EQ(rec.recorded(), 0u);
+  EXPECT_EQ(rec.size(), 0u);
+  rec.record(Stage::kPfEvict, 0, 0, 9, 9);
+  EXPECT_EQ(rec.size(), 1u);
+}
+
+TEST(TraceRecorder, StageNamesCoverTheTaxonomy) {
+  EXPECT_STREQ(to_string(Stage::kHostRead), "host_read");
+  EXPECT_STREQ(to_string(Stage::kHostQueue), "host_queue");
+  EXPECT_STREQ(to_string(Stage::kLinkDown), "link_down");
+  EXPECT_STREQ(to_string(Stage::kLinkUp), "link_up");
+  EXPECT_STREQ(to_string(Stage::kXbarDown), "xbar_down");
+  EXPECT_STREQ(to_string(Stage::kXbarUp), "xbar_up");
+  EXPECT_STREQ(to_string(Stage::kVaultQueue), "vault_queue");
+  EXPECT_STREQ(to_string(Stage::kBufferHit), "buffer_hit");
+  EXPECT_STREQ(to_string(Stage::kBankAct), "bank_act");
+  EXPECT_STREQ(to_string(Stage::kBankPre), "bank_pre");
+  EXPECT_STREQ(to_string(Stage::kBankService), "bank_service");
+  EXPECT_STREQ(to_string(Stage::kRowFetch), "row_fetch");
+  EXPECT_STREQ(to_string(Stage::kPfInsert), "pf_insert");
+  EXPECT_STREQ(to_string(Stage::kPfEvict), "pf_evict");
+}
+
+}  // namespace
+}  // namespace camps::obs

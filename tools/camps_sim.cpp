@@ -15,10 +15,20 @@
 //     --seed=N           workload seed
 //     --stats            dump the full statistics registry
 //     --energy           dump the energy event breakdown
+//     --stats-json=FILE  write results + statistics registry as JSON
+//     --trace-out=FILE   write request-lifecycle spans as Chrome trace JSON
+//     --trace-cap=N      span ring capacity (default 16384)
+//     --epoch-ticks=N    sample device counters every N ticks
+//     --epoch-csv=FILE   write the epoch time series as CSV
+//     --epoch-json=FILE  write the epoch time series as JSON
+//     --log-level=L      trace|debug|info|warn|error (default warn)
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "common/json.hpp"
+#include "common/log.hpp"
+#include "obs/chrome_trace.hpp"
 #include "system/system.hpp"
 
 namespace {
@@ -27,7 +37,11 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--workload=ID] [--scheme=NAME] [--config=FILE]\n"
                "          [--warmup=N] [--measure=N] [--seed=N] [--stats] "
-               "[--energy]\n",
+               "[--energy]\n"
+               "          [--stats-json=FILE] [--trace-out=FILE] "
+               "[--trace-cap=N]\n"
+               "          [--epoch-ticks=N] [--epoch-csv=FILE] "
+               "[--epoch-json=FILE] [--log-level=L]\n",
                argv0);
 }
 
@@ -40,6 +54,8 @@ int main(int argc, char** argv) {
   std::string config_path;
   bool dump_stats = false;
   bool dump_energy = false;
+  std::string stats_json_path, trace_out_path, epoch_csv_path, epoch_json_path;
+  u64 trace_cap = 0, epoch_ticks = 0;
   system::SystemConfig cfg = system::table1_config();
   cfg.core.warmup_instructions = 100'000;
   cfg.core.measure_instructions = 500'000;
@@ -72,6 +88,38 @@ int main(int argc, char** argv) {
       dump_stats = true;
     } else if (arg == "--energy") {
       dump_energy = true;
+    } else if (arg.rfind("--stats-json=", 0) == 0) {
+      stats_json_path = value("--stats-json=");
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out_path = value("--trace-out=");
+    } else if (arg.rfind("--trace-cap=", 0) == 0) {
+      trace_cap = std::strtoull(value("--trace-cap="), nullptr, 10);
+    } else if (arg.rfind("--epoch-ticks=", 0) == 0) {
+      epoch_ticks = std::strtoull(value("--epoch-ticks="), nullptr, 10);
+    } else if (arg.rfind("--epoch-csv=", 0) == 0) {
+      epoch_csv_path = value("--epoch-csv=");
+    } else if (arg.rfind("--epoch-json=", 0) == 0) {
+      epoch_json_path = value("--epoch-json=");
+    } else if (arg.rfind("--log-level=", 0) == 0) {
+      const std::string level = value("--log-level=");
+      if (level == "trace") {
+        set_log_level(LogLevel::kTrace);
+      } else if (level == "debug") {
+        set_log_level(LogLevel::kDebug);
+      } else if (level == "info") {
+        set_log_level(LogLevel::kInfo);
+      } else if (level == "warn") {
+        set_log_level(LogLevel::kWarn);
+      } else if (level == "error") {
+        set_log_level(LogLevel::kError);
+      } else {
+        std::fprintf(stderr,
+                     "--log-level expects trace|debug|info|warn|error, "
+                     "got \"%s\"\n",
+                     level.c_str());
+        usage(argv[0]);
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -93,6 +141,15 @@ int main(int argc, char** argv) {
     if (have_warmup) cfg.core.warmup_instructions = warmup;
     if (have_measure) cfg.core.measure_instructions = measure;
     if (have_seed) cfg.seed = seed;
+    cfg.obs.trace_enabled = !trace_out_path.empty();
+    if (trace_cap > 0) cfg.obs.trace_capacity = static_cast<u32>(trace_cap);
+    // An epoch output without an explicit period gets a sensible default
+    // (10 us of simulated time).
+    if (epoch_ticks == 0 &&
+        (!epoch_csv_path.empty() || !epoch_json_path.empty())) {
+      epoch_ticks = 10'000 * sim::kTicksPerNs;
+    }
+    cfg.obs.epoch_ticks = epoch_ticks;
 
     std::printf("camps_sim: workload %s, scheme %s, %llu+%llu instr/core, "
                 "seed %llu\n\n",
@@ -118,6 +175,50 @@ int main(int argc, char** argv) {
     if (dump_stats) {
       std::printf("\n--- statistics registry ---\n%s",
                   sys->stats().dump().c_str());
+    }
+    if (!stats_json_path.empty()) {
+      // One document: the run's headline results plus the full registry
+      // (per-vault counters, latency histograms). Deterministic: neither
+      // part contains wall-clock.
+      JsonWriter w(2);
+      w.begin_object();
+      w.field("workload", workload);
+      w.field("scheme", prefetch::to_string(cfg.scheme));
+      w.key("results");
+      w.raw(results.to_json(0));
+      w.key("registry");
+      w.raw(sys->stats().dump_json(0));
+      w.end_object();
+      write_text_file(stats_json_path, w.str() + "\n");
+      std::fprintf(stderr, "stats json written to %s\n",
+                   stats_json_path.c_str());
+    }
+    if (!trace_out_path.empty()) {
+      const std::string run_name =
+          workload + "/" + prefetch::to_string(cfg.scheme);
+      const std::vector<obs::Span> spans = sys->trace().sorted_spans();
+      obs::write_chrome_trace(trace_out_path,
+                              {obs::TraceRun{run_name, &spans}});
+      std::fprintf(stderr, "trace written to %s (%zu spans, %llu dropped)\n",
+                   trace_out_path.c_str(), spans.size(),
+                   static_cast<unsigned long long>(results.trace_dropped));
+    }
+    if (results.epochs != nullptr) {
+      if (!epoch_csv_path.empty()) {
+        write_text_file(epoch_csv_path,
+                        obs::EpochSampler::series_csv(*results.epochs));
+        std::fprintf(stderr, "epoch csv written to %s\n",
+                     epoch_csv_path.c_str());
+      }
+      if (!epoch_json_path.empty()) {
+        write_text_file(
+            epoch_json_path,
+            obs::EpochSampler::series_json(*results.epochs,
+                                           cfg.obs.epoch_ticks, 2) +
+                "\n");
+        std::fprintf(stderr, "epoch json written to %s\n",
+                     epoch_json_path.c_str());
+      }
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
