@@ -2,6 +2,9 @@
 // shows why: the fine vault-interleaved map destroys row locality (the
 // row-granularity prefetcher has nothing to harvest), while putting bank
 // bits lowest concentrates streams in one bank.
+
+#include <string>
+#include <vector>
 #include "bench_common.hpp"
 #include "exp/table.hpp"
 

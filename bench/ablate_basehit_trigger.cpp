@@ -1,6 +1,9 @@
 // Ablation: BASE-HIT's queued-hit trigger (the paper uses 2). Higher
 // triggers fetch less speculatively — fewer rows moved, higher accuracy,
 // lower coverage.
+
+#include <string>
+#include <vector>
 #include "bench_common.hpp"
 #include "exp/table.hpp"
 

@@ -1,6 +1,9 @@
 // Ablation: prefetch buffer capacity (paper fixes 16 KB = 16 rows/vault).
 // Sweeps 4..64 entries for CAMPS and CAMPS-MOD; the gap between the two
 // replacement policies narrows as capacity pressure disappears.
+
+#include <string>
+#include <vector>
 #include "bench_common.hpp"
 #include "exp/table.hpp"
 

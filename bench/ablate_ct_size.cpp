@@ -2,6 +2,10 @@
 // Sweeps 4..128 entries for CAMPS-MOD: too small misses conflict-causers
 // whose re-activation distance exceeds the table's reach; beyond the
 // working set of conflicting rows the benefit saturates.
+
+#include <map>
+#include <string>
+#include <vector>
 #include "bench_common.hpp"
 #include "exp/table.hpp"
 

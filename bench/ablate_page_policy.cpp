@@ -2,6 +2,9 @@
 // removes row-buffer conflicts at the price of losing row hits; CAMPS's
 // selective fetch+precharge is effectively a *learned* middle ground, which
 // this sweep makes visible.
+
+#include <string>
+#include <vector>
 #include "bench_common.hpp"
 #include "exp/table.hpp"
 

@@ -2,6 +2,10 @@
 // Sweeps 1..16 for CAMPS-MOD on one workload per class and reports speedup
 // vs BASE plus prefetch volume/accuracy, exposing the coverage/pollution
 // trade-off behind the paper's choice.
+
+#include <map>
+#include <string>
+#include <vector>
 #include "bench_common.hpp"
 #include "exp/table.hpp"
 

@@ -5,6 +5,7 @@
 //   --measure=N    detailed-window instructions per core
 //   --warmup=N     warmup instructions per core
 //   --seed=N       workload generation seed
+//   --audit        audit model invariants every 100000 events in every run
 //   --jobs=N       worker threads for the sweep (0 = all hardware threads)
 //   --quiet        suppress per-run progress on stderr
 //   --csv=FILE     additionally write the main table as CSV
@@ -154,13 +155,14 @@ inline void maybe_write_trace(const exp::Runner& runner) {
 inline void print_usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--quick] [--measure=N] [--warmup=N] [--seed=N]\n"
-               "          [--jobs=N] [--quiet] [--csv=FILE]\n"
+               "          [--audit] [--jobs=N] [--quiet] [--csv=FILE]\n"
                "          [--stats-json=FILE] [--trace-out=FILE] "
                "[--trace-cap=N] [--log-level=L]\n"
                "  --quick      1/5th instruction budget (smoke run)\n"
                "  --measure=N  measured instructions per core\n"
                "  --warmup=N   warmup instructions per core\n"
                "  --seed=N     workload generation seed\n"
+               "  --audit      audit model invariants every 100000 events\n"
                "  --jobs=N     worker threads for the sweep "
                "(default: all hardware threads)\n"
                "  --quiet      suppress per-run progress on stderr\n"
@@ -224,6 +226,8 @@ inline exp::ExperimentConfig parse_args(int argc, char** argv) {
       cfg.warmup_instructions = parse_u64_value(argv[0], arg, 9);
     } else if (arg.rfind("--seed=", 0) == 0) {
       cfg.seed = parse_u64_value(argv[0], arg, 7);
+    } else if (arg == "--audit") {
+      cfg.audit_every = 100'000;
     } else if (arg.rfind("--jobs=", 0) == 0) {
       cfg.jobs = static_cast<u32>(parse_u64_value(argv[0], arg, 7));
     } else if (arg == "--quiet") {

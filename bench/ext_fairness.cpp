@@ -4,6 +4,9 @@
 // Weighted speedup (throughput in jobs' worth of progress) and harmonic
 // speedup (throughput-fairness balance) both use per-benchmark solo runs
 // as the denominator.
+
+#include <string>
+#include <vector>
 #include "bench_common.hpp"
 #include "exp/table.hpp"
 

@@ -2,6 +2,9 @@
 // the cube generation (vault-level parallelism and link speed), and what
 // link power management (the paper's reference [13]) costs under each
 // scheme.
+
+#include <string>
+#include <vector>
 #include "bench_common.hpp"
 #include "exp/table.hpp"
 

@@ -4,6 +4,9 @@
 // detection tracks CAMPS on streaming-heavy mixes but cannot touch
 // conflict-dominated traffic, which is precisely the behaviour gap the
 // paper's Conflict Table closes.
+
+#include <string>
+#include <vector>
 #include "bench_common.hpp"
 #include "exp/table.hpp"
 

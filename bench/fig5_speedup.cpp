@@ -3,6 +3,9 @@
 //
 // Paper headline: CAMPS-MOD +17.9% vs BASE, +16.8% vs BASE-HIT, +8.7% vs
 // MMD on average; per class +24.9% (HM), +9.4% (LM), +19.6% (MX) vs BASE.
+
+#include <string>
+#include <vector>
 #include "bench_common.hpp"
 #include "exp/table.hpp"
 

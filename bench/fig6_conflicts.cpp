@@ -4,6 +4,10 @@
 //
 // Paper headline: CAMPS-MOD reduces conflicts by 16.3% vs BASE-HIT and
 // 13.6% vs MMD on average.
+
+#include <map>
+#include <string>
+#include <vector>
 #include "bench_common.hpp"
 #include "exp/table.hpp"
 

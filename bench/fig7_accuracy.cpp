@@ -4,6 +4,10 @@
 // Paper headline: CAMPS-MOD 70.5% on average, beating BASE by 33.3, BASE-HIT
 // by 28.4 and MMD by 4.1 percentage points; plain CAMPS sits slightly
 // (~1.5pp) below MMD.
+
+#include <map>
+#include <string>
+#include <vector>
 #include "bench_common.hpp"
 #include "exp/table.hpp"
 

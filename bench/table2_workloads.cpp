@@ -2,6 +2,8 @@
 // the live registry, plus the measured per-workload MPKI classification so
 // the synthetic substitution can be audited against the paper's HM/LM
 // definition (HM: MPKI >= 20; LM: 1 <= MPKI < 20).
+
+#include <string>
 #include "bench_common.hpp"
 #include "exp/table.hpp"
 

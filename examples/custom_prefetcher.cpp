@@ -7,6 +7,8 @@
 // (a lighter trigger than CAMPS's threshold of 4, with no conflict table).
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "exp/table.hpp"
 #include "system/system.hpp"

@@ -5,7 +5,9 @@
 // Usage: trace_tools [benchmark] [records] [output.ctrc]
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "system/system.hpp"
 #include "trace/spec_profiles.hpp"

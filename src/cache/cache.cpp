@@ -1,6 +1,7 @@
 #include "cache/cache.hpp"
 
 #include <bit>
+#include <optional>
 
 #include "common/assert.hpp"
 

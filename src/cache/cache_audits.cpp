@@ -1,0 +1,51 @@
+// Cold-path audit() definitions for the MSHR file and cache hierarchy
+// (contract: check/audit.hpp; invariant catalog: docs/static_analysis.md).
+// Kept out of the hot translation units so the audit code — which runs
+// every N-hundred-thousand events, or never — does not dilute their .text.
+
+#include <string>
+
+#include "cache/hierarchy.hpp"
+#include "cache/mshr.hpp"
+#include "check/audit.hpp"
+
+namespace camps {
+
+void cache::MshrFile::audit(check::AuditReporter& rep) const {
+  const check::AuditScope scope(rep, "mshr");
+  if (max_entries_ != 0) {
+    rep.expect(pending_.size() <= max_entries_, "mshr-capacity",
+               std::to_string(pending_.size()) +
+                   " outstanding entries exceed the file's " +
+                   std::to_string(max_entries_) + "-entry capacity");
+  }
+  for (const auto& [line, waiters] : pending_) {
+    rep.expect(!waiters.empty(), "mshr-orphan",
+               "line " + std::to_string(line) +
+                   " is outstanding with no registered waiter");
+    for (const WakeFn& w : waiters) {
+      rep.expect(static_cast<bool>(w), "mshr-dead-waiter",
+                 "line " + std::to_string(line) +
+                     " holds an empty wake callback");
+    }
+  }
+  rep.expect(pending_.size() <= allocations_, "mshr-crossfoot",
+             "more lines outstanding than fetches ever launched");
+}
+
+void cache::CacheHierarchy::audit(check::AuditReporter& rep) const {
+  const check::AuditScope scope(rep, "cache");
+  mshrs_.audit(rep);
+  // Deferred retries only exist while the MSHR file is bounded and full
+  // misses were turned away; each must be a live callable.
+  for (const auto& retry : mshr_retry_) {
+    rep.expect(static_cast<bool>(retry), "cache-dead-retry",
+               "deferred MSHR retry holds an empty callback");
+  }
+  if (cfg_.mshr_entries == 0) {
+    rep.expect(mshr_retry_.empty(), "cache-retry-unbounded",
+               "retries deferred although the MSHR file is unlimited");
+  }
+}
+
+}  // namespace camps

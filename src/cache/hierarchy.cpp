@@ -1,5 +1,9 @@
 #include "cache/hierarchy.hpp"
 
+#include <functional>
+#include <memory>
+#include <vector>
+
 #include "common/assert.hpp"
 
 namespace camps::cache {

@@ -13,6 +13,7 @@
 
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "cache/cache.hpp"
 #include "cache/mshr.hpp"
@@ -44,7 +45,7 @@ struct HierarchyConfig {
   u32 mshr_entries = 0;
 };
 
-class CacheHierarchy {
+class CacheHierarchy final {
  public:
   using DoneFn = std::function<void()>;
 
@@ -74,6 +75,9 @@ class CacheHierarchy {
   /// Zeroes all cache and latency counters; contents stay warm.
   void reset_stats();
 
+  /// Audits the MSHR file and the deferred-retry list.
+  void audit(check::AuditReporter& reporter) const;
+
  private:
   /// Walks the hierarchy for one line; returns the level that hit
   /// (1/2/3) or 0 for memory, and accumulates lookup latency in `cycles`.
@@ -100,5 +104,7 @@ class CacheHierarchy {
   u64 memory_reads_ = 0, memory_writes_ = 0;
   u64 load_latency_cycles_ = 0, loads_completed_ = 0;
 };
+
+static_assert(check::Auditable<CacheHierarchy>);
 
 }  // namespace camps::cache

@@ -1,5 +1,8 @@
 #include "cache/mshr.hpp"
 
+#include <string>
+#include <vector>
+
 #include "common/assert.hpp"
 
 namespace camps::cache {

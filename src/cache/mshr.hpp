@@ -10,11 +10,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/audit.hpp"
 #include "common/types.hpp"
 
 namespace camps::cache {
 
-class MshrFile {
+class MshrFile final {
  public:
   using WakeFn = std::function<void()>;
 
@@ -39,10 +40,19 @@ class MshrFile {
   u64 allocations() const { return allocations_; }
   u64 full_rejections() const { return full_rejections_; }
 
+  /// Invariants: the file respects its capacity, every outstanding entry
+  /// has at least one live waiter (the allocating miss registers one), and
+  /// merges never outnumber the accesses that could have merged.
+  void audit(check::AuditReporter& reporter) const;
+
  private:
+  friend struct check::TestCorruptor;
+
   u32 max_entries_;
   std::unordered_map<Addr, std::vector<WakeFn>> pending_;
   u64 merges_ = 0, allocations_ = 0, full_rejections_ = 0;
 };
+
+static_assert(check::Auditable<MshrFile>);
 
 }  // namespace camps::cache

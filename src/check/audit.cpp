@@ -1,0 +1,64 @@
+#include "check/audit.hpp"
+
+#include <cstdio>
+#include <string>
+
+#include "common/assert.hpp"
+
+namespace camps::check {
+
+std::string AuditReporter::component() const {
+  std::string path;
+  for (const auto& segment : scope_) {
+    if (!path.empty()) path += '.';
+    path += segment;
+  }
+  return path;
+}
+
+void AuditReporter::violation(std::string invariant, std::string detail,
+                              std::string state) {
+  violations_.push_back(Violation{component(), std::move(invariant),
+                                  std::move(detail), std::move(state),
+                                  tick_});
+}
+
+bool AuditReporter::expect(bool ok, const char* invariant, std::string detail,
+                           std::string state) {
+  ++checks_;
+  if (!ok) violation(invariant, std::move(detail), std::move(state));
+  return ok;
+}
+
+std::string AuditReporter::report() const {
+  std::string out = "audit: " + std::to_string(violations_.size()) +
+                    " invariant violation(s), " + std::to_string(checks_) +
+                    " checks run\n";
+  for (const auto& v : violations_) {
+    out += "  [" + (v.component.empty() ? std::string("<root>") : v.component) +
+           "] " + v.invariant + " @ tick " + std::to_string(v.tick) + ": " +
+           v.detail + "\n";
+    if (!v.state.empty()) {
+      // Indent the state dump under its violation line.
+      out += "    state: ";
+      for (const char c : v.state) {
+        out += c;
+        if (c == '\n') out += "           ";
+      }
+      if (out.back() != '\n') out += '\n';
+    }
+  }
+  return out;
+}
+
+void audit_fail(const AuditReporter& reporter) {
+  const std::string report = reporter.report();
+  std::fputs(report.c_str(), stderr);
+  detail::assert_fail("model audit found invariant violations", "audit",
+                      static_cast<int>(reporter.violations().size()),
+                      reporter.violations().empty()
+                          ? ""
+                          : reporter.violations().front().invariant.c_str());
+}
+
+}  // namespace camps::check

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <bit>
+#include <functional>
 #include <sstream>
+#include <string>
 
 #include "common/assert.hpp"
 #include "common/json.hpp"

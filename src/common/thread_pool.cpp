@@ -1,5 +1,7 @@
 #include "common/thread_pool.hpp"
 
+#include <functional>
+
 #include "common/assert.hpp"
 
 namespace camps {

@@ -1,12 +1,13 @@
 #include "dram/bank.hpp"
 
 #include <algorithm>
+#include <optional>
+#include <string>
 
 #include "common/assert.hpp"
 #include "sim/clock.hpp"
 
 namespace camps::dram {
-
 
 BankState Bank::state(u64 cycle) const {
   // Transients settle by themselves once their completion cycle passes.

@@ -8,6 +8,7 @@
 
 #include <optional>
 
+#include "check/audit.hpp"
 #include "common/types.hpp"
 #include "dram/timing.hpp"
 #include "obs/trace_recorder.hpp"
@@ -29,7 +30,7 @@ enum class BankState : u8 {
 /// "empty" access) finds the bank precharged; a *hit* finds its row open.
 enum class RowBufferOutcome : u8 { kHit, kEmpty, kConflict };
 
-class Bank {
+class Bank final {
  public:
   explicit Bank(const TimingParams& timing) : t_(&timing) {}
 
@@ -76,7 +77,16 @@ class Bank {
   u64 row_fetch_count() const { return n_rowfetch_; }
   u64 refresh_count() const { return n_ref_; }
 
+  /// Invariants over the command-legality bookkeeping: the raw state is a
+  /// legal enum value, transient states carry a consistent completion
+  /// cycle, timing-window anchors only exist after the commands that set
+  /// them, and the command counters respect the FSM's legal sequences
+  /// (e.g. every PRE follows an ACT).
+  void audit(check::AuditReporter& reporter) const;
+
  private:
+  friend struct check::TestCorruptor;
+
   /// Records [begin, end) DRAM cycles as a tick span; one inlined branch
   /// when tracing is off (this sits on the per-DRAM-command hot path).
   void trace_span(obs::Stage stage, u64 id, u64 begin_cycle, u64 end_cycle) {
@@ -105,5 +115,7 @@ class Bank {
   void settle(u64 cycle);
   u64 column_issue_cycle(u64 cycle) const;
 };
+
+static_assert(check::Auditable<Bank>);
 
 }  // namespace camps::dram

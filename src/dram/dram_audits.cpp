@@ -1,0 +1,94 @@
+// Cold-path audit() definitions for the bank FSM
+// (contract: check/audit.hpp; invariant catalog: docs/static_analysis.md).
+// Kept out of the hot translation units so the audit code — which runs
+// every N-hundred-thousand events, or never — does not dilute their .text.
+
+#include <string>
+
+#include "check/audit.hpp"
+#include "dram/bank.hpp"
+
+namespace camps {
+
+namespace {
+
+const char* state_name(dram::BankState s) {
+  switch (s) {
+    case dram::BankState::kPrecharged: return "precharged";
+    case dram::BankState::kActivating: return "activating";
+    case dram::BankState::kActive: return "active";
+    case dram::BankState::kPrecharging: return "precharging";
+    case dram::BankState::kRefreshing: return "refreshing";
+  }
+  return "<corrupt>";
+}
+
+}  // namespace
+
+void dram::Bank::audit(check::AuditReporter& rep) const {
+  const std::string dump =
+      std::string("state=") + state_name(raw_state_) +
+      " row=" + std::to_string(row_) + " ready_at=" +
+      std::to_string(ready_at_) + " act_at=" + std::to_string(act_at_) +
+      " last_col_at=" + std::to_string(last_col_at_) + " rd_pre_gate=" +
+      std::to_string(rd_pre_gate_) + " wr_pre_gate=" +
+      std::to_string(wr_pre_gate_) + " any_col=" +
+      (any_col_ ? "1" : "0") + " n_act=" + std::to_string(n_act_) +
+      " n_pre=" + std::to_string(n_pre_);
+
+  const bool state_legal = raw_state_ == BankState::kPrecharged ||
+                           raw_state_ == BankState::kActivating ||
+                           raw_state_ == BankState::kActive ||
+                           raw_state_ == BankState::kPrecharging ||
+                           raw_state_ == BankState::kRefreshing;
+  if (!rep.expect(state_legal, "fsm-state",
+                  "raw state value " +
+                      std::to_string(static_cast<u32>(raw_state_)) +
+                      " is not a BankState",
+                  dump)) {
+    return;  // Everything below keys off the state; don't cascade noise.
+  }
+
+  // Transient completion bookkeeping.
+  if (raw_state_ == BankState::kActivating) {
+    rep.expect(ready_at_ == act_at_ + t_->tRCD, "act-window",
+               "activating but ready_at != act_at + tRCD", dump);
+  }
+  if (raw_state_ == BankState::kPrecharging) {
+    rep.expect(ready_at_ >= t_->tRP, "pre-window",
+               "precharging with ready_at earlier than tRP", dump);
+  }
+
+  // Column-timing anchors exist only after the commands that set them.
+  if (!any_col_) {
+    rep.expect(rd_pre_gate_ == 0 && wr_pre_gate_ == 0, "col-gate",
+               "no column issued since ACT but a tRTP/tWR precharge gate "
+               "is armed",
+               dump);
+  } else {
+    rep.expect(n_rd_ + n_wr_ + n_rowfetch_ > 0, "col-count",
+               "column issued (any_col) but no RD/WR/row-fetch counted",
+               dump);
+    rep.expect(last_col_at_ >= act_at_, "col-order",
+               "last column issue precedes the row's ACT", dump);
+  }
+  if (rd_pre_gate_ != 0) {
+    rep.expect(n_rd_ + n_rowfetch_ > 0, "gate-provenance",
+               "tRTP gate armed without any read or row fetch", dump);
+  }
+  if (wr_pre_gate_ != 0) {
+    rep.expect(n_wr_ > 0, "gate-provenance",
+               "tWR gate armed without any write", dump);
+  }
+
+  // Legal command sequences: a row is opened by exactly one ACT and closed
+  // by exactly one PRE, so the counters interlock with the state.
+  const bool open = raw_state_ == BankState::kActive ||
+                    raw_state_ == BankState::kActivating;
+  rep.expect(n_act_ == n_pre_ + (open ? 1 : 0), "act-pre-balance",
+             open ? "row open but ACT count != PRE count + 1"
+                  : "row closed but ACT count != PRE count",
+             dump);
+}
+
+}  // namespace camps

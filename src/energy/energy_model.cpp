@@ -1,6 +1,7 @@
 #include "energy/energy_model.hpp"
 
 #include <sstream>
+#include <string>
 
 namespace camps::energy {
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "common/log.hpp"
 #include "common/thread_pool.hpp"
@@ -24,6 +27,7 @@ system::SystemConfig ExperimentConfig::system_config(
   cfg.core.measure_instructions = measure_instructions;
   cfg.seed = seed;
   cfg.max_cycles = max_cycles;
+  cfg.audit_every = audit_every;
   cfg.obs = obs;
   return cfg;
 }

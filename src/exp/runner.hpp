@@ -27,6 +27,9 @@ struct ExperimentConfig {
   u64 measure_instructions = 1'000'000;
   u64 seed = 1;
   u64 max_cycles = 400'000'000;
+  /// Model self-audit interval in executed events (0 = off); copied into
+  /// every run's SystemConfig. Benches arm it with --audit.
+  u64 audit_every = 0;
   bool verbose = false;  ///< Print one progress line per run to stderr.
 
   /// Worker threads for parallel sweeps; 0 = all hardware threads.

@@ -1,6 +1,7 @@
 #include "hmc/address_map.hpp"
 
 #include <bit>
+#include <string>
 
 #include "common/assert.hpp"
 

@@ -1,0 +1,144 @@
+// Cold-path audit() definitions for the vault/host controllers and device
+// (contract: check/audit.hpp; invariant catalog: docs/static_analysis.md).
+// Kept out of the hot translation units so the audit code — which runs
+// every N-hundred-thousand events, or never — does not dilute their .text.
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "check/audit.hpp"
+#include "hmc/hmc_device.hpp"
+#include "hmc/host_controller.hpp"
+#include "hmc/vault_controller.hpp"
+#include "prefetch/scheme_camps.hpp"
+
+namespace camps {
+
+void hmc::HostController::audit(check::AuditReporter& rep) const {
+  {
+    const check::AuditScope scope(rep, "host");
+    for (const auto& [id, fn] : outstanding_) {
+      rep.expect(id != 0 && id < next_id_, "host-id-range",
+                 "outstanding request id " + std::to_string(id) +
+                     " was never issued (next id is " +
+                     std::to_string(next_id_) + ")");
+      rep.expect(static_cast<bool>(fn), "host-dead-callback",
+                 "outstanding read " + std::to_string(id) +
+                     " has no completion callback");
+    }
+  }
+  device_.audit(rep);
+}
+
+void hmc::VaultController::audit(check::AuditReporter& rep) const {
+  const check::AuditScope scope(rep, "vault" + std::to_string(id_));
+  const u64 cycle = cycle_of(sim_.now());
+
+  // Owned-structure shapes.
+  rep.expect(banks_.size() == cfg_.banks, "vault-bank-shape",
+             std::to_string(banks_.size()) + " banks constructed, " +
+                 std::to_string(cfg_.banks) + " configured");
+  rep.expect(open_row_refs_.size() == banks_.size(), "vault-refs-shape",
+             "open-row reference tracking covers " +
+                 std::to_string(open_row_refs_.size()) + " of " +
+                 std::to_string(banks_.size()) + " banks");
+  rep.expect(act_window_pos_ < act_window_.size(), "vault-act-ring",
+             "tFAW ring cursor " + std::to_string(act_window_pos_) +
+                 " out of range");
+
+  // Queue capacities (Table I: 32-entry read and write queues). The ingress
+  // stage is unbounded by design (it models the packet link buffer), so only
+  // the scheduler queues are checked.
+  rep.expect(rdq_.size() <= cfg_.read_queue, "vault-rdq-capacity",
+             std::to_string(rdq_.size()) + " reads queued, capacity " +
+                 std::to_string(cfg_.read_queue));
+  rep.expect(wrq_.size() <= cfg_.write_queue, "vault-wrq-capacity",
+             std::to_string(wrq_.size()) + " writes queued, capacity " +
+                 std::to_string(cfg_.write_queue));
+
+  // Every queued coordinate must decode inside this vault's geometry.
+  const u64 line_limit = buffer_.config().lines_per_row;
+  auto check_entries = [&](const std::deque<QueueEntry>& q, const char* which) {
+    for (const QueueEntry& e : q) {
+      rep.expect(e.bank < cfg_.banks, "vault-entry-bank",
+                 std::string(which) + " entry for request " +
+                     std::to_string(e.req.id) + " targets bank " +
+                     std::to_string(e.bank) + " of " +
+                     std::to_string(cfg_.banks));
+      rep.expect(e.column < line_limit, "vault-entry-column",
+                 std::string(which) + " entry for request " +
+                     std::to_string(e.req.id) + " targets column " +
+                     std::to_string(e.column) + " of " +
+                     std::to_string(line_limit));
+    }
+  };
+  check_entries(ingress_, "ingress");
+  check_entries(rdq_, "read-queue");
+  check_entries(wrq_, "write-queue");
+  for (const PfAction& a : actions_) {
+    rep.expect(a.bank < cfg_.banks, "vault-action-bank",
+               "prefetch action targets bank " + std::to_string(a.bank) +
+                   " of " + std::to_string(cfg_.banks));
+  }
+
+  // Open-row reference bitmaps stay confined to the row's line count.
+  const u64 line_mask =
+      line_limit >= 64 ? ~u64{0} : ((u64{1} << line_limit) - 1);
+  for (size_t b = 0; b < open_row_refs_.size(); ++b) {
+    rep.expect((open_row_refs_[b].bitmap & ~line_mask) == 0,
+               "vault-refs-bitmap",
+               "bank " + std::to_string(b) +
+                   " tracks referenced lines outside the row");
+  }
+
+  // Delegate to each owned component.
+  for (size_t b = 0; b < banks_.size(); ++b) {
+    const check::AuditScope bank_scope(rep, "bank" + std::to_string(b));
+    banks_[b].audit(rep);
+  }
+  buffer_.audit(rep);
+  scheme_->audit(rep);
+
+  // Cross-structure CAMPS rule: a row cannot be open in its bank *and*
+  // archived in the Conflict Table — the CT holds displaced rows only
+  // (Section 3.1). The one legal overlap is transient: the controller has
+  // activated the row for a queued demand but the scheme has not yet seen
+  // the access (the CT entry is consumed at column issue). So an overlap is
+  // a violation only when nothing pending explains it.
+  const auto* camps =
+      dynamic_cast<const prefetch::CampsScheme*>(scheme_.get());
+  if (camps != nullptr) {
+    auto pending_for = [&](BankId bank, RowId row) {
+      auto targets = [&](const QueueEntry& e) {
+        return e.bank == bank && e.row == row;
+      };
+      return std::any_of(rdq_.begin(), rdq_.end(), targets) ||
+             std::any_of(wrq_.begin(), wrq_.end(), targets) ||
+             std::any_of(ingress_.begin(), ingress_.end(), targets) ||
+             std::any_of(actions_.begin(), actions_.end(),
+                         [&](const PfAction& a) {
+                           return a.bank == bank && a.row == row;
+                         });
+    };
+    for (size_t b = 0; b < banks_.size(); ++b) {
+      const auto open = banks_[b].open_row(cycle);
+      if (!open) continue;
+      const BankId bank = static_cast<BankId>(b);
+      if (!camps->conflict_table().contains(BankRow{bank, *open})) continue;
+      rep.expect(pending_for(bank, *open), "vault-ct-open-row",
+                 "bank " + std::to_string(b) + " holds row " +
+                     std::to_string(*open) +
+                     " open while the CT archives it as displaced, and no "
+                     "pending demand or prefetch explains the overlap");
+    }
+  }
+}
+
+void hmc::HmcDevice::audit(check::AuditReporter& rep) const {
+  for (const auto& vault : vaults_) vault->audit(rep);
+}
+
+}  // namespace camps

@@ -1,5 +1,7 @@
 #include "hmc/hmc_device.hpp"
 
+#include <memory>
+
 #include "sim/clock.hpp"
 
 namespace camps::hmc {

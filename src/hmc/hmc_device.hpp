@@ -67,6 +67,9 @@ class HmcDevice {
   /// Zeroes all vault counters and the energy model (warmup boundary).
   void reset_stats();
 
+  /// Audits every vault controller (each under its own "vaultN" scope).
+  void audit(check::AuditReporter& reporter) const;
+
   /// Total serialization-busy ticks across all links, per direction.
   Tick link_busy_ticks_down() const;
   Tick link_busy_ticks_up() const;
@@ -95,5 +98,7 @@ class HmcDevice {
   Histogram* h_lat_link_down_ = nullptr;   ///< Link start -> vault side.
   Histogram* h_lat_link_up_ = nullptr;     ///< Vault side -> host side.
 };
+
+static_assert(check::Auditable<HmcDevice>);
 
 }  // namespace camps::hmc

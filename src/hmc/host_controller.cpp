@@ -1,5 +1,7 @@
 #include "hmc/host_controller.hpp"
 
+#include <string>
+
 namespace camps::hmc {
 
 HostController::HostController(sim::Simulator& sim, const HmcConfig& config,

@@ -13,7 +13,7 @@
 
 namespace camps::hmc {
 
-class HostController {
+class HostController final {
  public:
   using CompletionFn = std::function<void(const MemRequest&)>;
 
@@ -45,18 +45,26 @@ class HostController {
   /// requests are unaffected); marks the warmup boundary.
   void reset_stats();
 
+  /// Audits the id/outstanding bookkeeping, then the whole device.
+  void audit(check::AuditReporter& reporter) const;
+
  private:
+  friend struct check::TestCorruptor;
   void deliver(const MemRequest& request);
 
   sim::Simulator& sim_;
   HmcDevice device_;
   obs::TraceRecorder* trace_ = nullptr;
-  std::unordered_map<u64, CompletionFn> outstanding_;
+  // Keyed lookup/erase only — never iterated for ordered output, so the
+  // unspecified iteration order cannot leak into results.
+  std::unordered_map<u64, CompletionFn> outstanding_;  // camps-lint: allow(determinism)
   Histogram latency_{/*bucket_width=*/25, /*num_buckets=*/128};
   Histogram* h_lat_total_read_ = nullptr;  ///< Registry copy of latency_.
   u64 next_id_ = 1;
   u64 reads_ = 0, writes_ = 0, completed_ = 0;
   u64 latency_cycles_total_ = 0;
 };
+
+static_assert(check::Auditable<HostController>);
 
 }  // namespace camps::hmc

@@ -1,7 +1,12 @@
 #include "hmc/vault_controller.hpp"
 
 #include <algorithm>
+#include <deque>
+#include <memory>
+#include <optional>
 #include <string>
+
+#include "prefetch/scheme_camps.hpp"
 
 namespace camps::hmc {
 

@@ -61,7 +61,7 @@ struct VaultConfig {
   bool row_fetch_uses_bus = false;
 };
 
-class VaultController {
+class VaultController final {
  public:
   /// Called when a read's data is ready to leave the vault (the device
   /// adds crossbar + link delays on top of `ready`).
@@ -98,7 +98,16 @@ class VaultController {
   /// the warmup / measurement boundary.
   void reset_stats();
 
+  /// Audits this vault and everything it owns: per-bank FSMs, the prefetch
+  /// buffer, the scheme's tables, queue capacities and decoded-coordinate
+  /// ranges, the tFAW/tRRD activation window, and the cross-structure
+  /// CAMPS rules (an open row archived in the CT must have a demand or
+  /// prefetch action pending — steady state forbids the overlap).
+  void audit(check::AuditReporter& reporter) const;
+
  private:
+  friend struct check::TestCorruptor;
+
   struct QueueEntry {
     MemRequest req;
     BankId bank = 0;
@@ -230,5 +239,7 @@ class VaultController {
     return cycles * sim::kDramTicksPerCycle / sim::kCpuTicksPerCycle;
   }
 };
+
+static_assert(check::Auditable<VaultController>);
 
 }  // namespace camps::hmc

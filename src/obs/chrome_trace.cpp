@@ -1,6 +1,8 @@
 #include "obs/chrome_trace.hpp"
 
 #include <map>
+#include <string>
+#include <vector>
 
 #include "common/json.hpp"
 

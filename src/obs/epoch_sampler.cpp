@@ -1,6 +1,8 @@
 #include "obs/epoch_sampler.hpp"
 
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "common/assert.hpp"
 #include "common/json.hpp"

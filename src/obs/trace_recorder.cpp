@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <tuple>
+#include <vector>
 
 namespace camps::obs {
 

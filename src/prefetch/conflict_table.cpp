@@ -1,6 +1,9 @@
 #include "prefetch/conflict_table.hpp"
 
 #include <algorithm>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "common/assert.hpp"
 

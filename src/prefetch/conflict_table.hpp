@@ -10,11 +10,12 @@
 #include <optional>
 #include <vector>
 
+#include "check/audit.hpp"
 #include "common/types.hpp"
 
 namespace camps::prefetch {
 
-class ConflictTable {
+class ConflictTable final {
  public:
   explicit ConflictTable(u32 entries = 32);
 
@@ -38,9 +39,17 @@ class ConflictTable {
   /// Hardware footprint in bits (paper: 32 entries x 20 bits per vault).
   u64 overhead_bits() const { return u64{capacity_} * 20; }
 
+  /// Invariants: at most `capacity` entries and no (bank,row) appears
+  /// twice in the LRU order (Section 3.1's fully-associative table).
+  void audit(check::AuditReporter& reporter) const;
+
  private:
+  friend struct check::TestCorruptor;
+
   u32 capacity_;
   std::list<BankRow> lru_;  ///< Front = MRU. 32 entries: linear scan is fine.
 };
+
+static_assert(check::Auditable<ConflictTable>);
 
 }  // namespace camps::prefetch

@@ -1,7 +1,10 @@
 #include "prefetch/factory.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "prefetch/scheme_base.hpp"
 #include "prefetch/scheme_base_hit.hpp"

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <bit>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "common/assert.hpp"
 

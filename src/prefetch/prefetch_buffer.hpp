@@ -12,9 +12,11 @@
 #pragma once
 
 #include <bit>
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "check/audit.hpp"
 #include "obs/trace_recorder.hpp"
 #include "prefetch/replacement.hpp"
 
@@ -40,7 +42,7 @@ struct InsertResult {
   std::optional<EvictedRow> victim;  ///< Present when a row was displaced.
 };
 
-class PrefetchBuffer {
+class PrefetchBuffer final {
  public:
   PrefetchBuffer(const PrefetchBufferConfig& config,
                  std::unique_ptr<ReplacementPolicy> policy);
@@ -130,7 +132,16 @@ class PrefetchBuffer {
   /// measurement boundary.
   void reset_stats();
 
+  /// Invariants: the recency stack is a permutation of the resident slots
+  /// (Section 3.2's MRU = entries-1 ... LRU = 0 encoding), every entry's
+  /// cached utilization matches its bitmap popcount and stays <= lines per
+  /// row, bitmaps stay confined to the row's lines, and the eviction
+  /// statistics cross-foot.
+  void audit(check::AuditReporter& reporter) const;
+
  private:
+  friend struct check::TestCorruptor;
+
   struct Entry {
     BankRow id{};
     /// Lines served from the DRAM row buffer before the fetch (plus BASE's
@@ -171,5 +182,7 @@ class PrefetchBuffer {
   std::vector<u64> evict_util_hist_;
   std::vector<u64> evict_unused_hist_;
 };
+
+static_assert(check::Auditable<PrefetchBuffer>);
 
 }  // namespace camps::prefetch

@@ -1,5 +1,8 @@
 #include "prefetch/replacement.hpp"
 
+#include <memory>
+#include <vector>
+
 #include "common/assert.hpp"
 
 namespace camps::prefetch {

@@ -1,5 +1,8 @@
 #include "prefetch/rut.hpp"
 
+#include <optional>
+#include <string>
+
 #include "common/assert.hpp"
 
 namespace camps::prefetch {

@@ -10,11 +10,12 @@
 #include <optional>
 #include <vector>
 
+#include "check/audit.hpp"
 #include "common/types.hpp"
 
 namespace camps::prefetch {
 
-class RowUtilizationTable {
+class RowUtilizationTable final {
  public:
   struct Entry {
     RowId row = 0;
@@ -42,8 +43,16 @@ class RowUtilizationTable {
   /// Hardware footprint in bits (paper: 16 entries x 20 bits per vault).
   u64 overhead_bits() const { return u64{entries_.size()} * 20; }
 
+  /// Invariants: exactly one slot per bank, and every present entry has
+  /// served at least one request (touch() creates entries with count 1).
+  void audit(check::AuditReporter& reporter) const;
+
  private:
+  friend struct check::TestCorruptor;
+
   std::vector<std::optional<Entry>> entries_;
 };
+
+static_assert(check::Auditable<RowUtilizationTable>);
 
 }  // namespace camps::prefetch

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "check/audit.hpp"
 #include "dram/bank.hpp"
 #include "prefetch/replacement.hpp"
 
@@ -52,6 +53,12 @@ struct PrefetchDecision {
 class PrefetchScheme {
  public:
   virtual ~PrefetchScheme() = default;
+
+  /// Audits the scheme's internal profiling structures. Stateless schemes
+  /// have nothing to check; CAMPS overrides this with the RUT/CT rules.
+  /// Virtual (unlike the check::Auditable concept elsewhere) because
+  /// schemes are owned through this interface — the vtable already exists.
+  virtual void audit(check::AuditReporter& /*reporter*/) const {}
 
   /// Called once per demand access serviced at the DRAM banks.
   virtual PrefetchDecision on_demand_access(const AccessContext& ctx) = 0;

@@ -6,6 +6,8 @@
 // every miss moves a full 1 KB row.
 #pragma once
 
+#include <string>
+
 #include "prefetch/scheme.hpp"
 
 namespace camps::prefetch {

@@ -5,6 +5,8 @@
 // row-buffer conflicts still occur (Fig. 6 includes BASE-HIT).
 #pragma once
 
+#include <string>
+
 #include "prefetch/scheme.hpp"
 
 namespace camps::prefetch {

@@ -1,8 +1,33 @@
 #include "prefetch/scheme_camps.hpp"
 
+#include <memory>
+#include <string>
+
 #include "common/assert.hpp"
 
+// Debug builds self-audit the RUT/CT pair after every structural transition
+// (each on_demand_access may displace a profile into the CT, consume a CT
+// entry, or drop a RUT entry). Release builds skip this: the periodic
+// --audit-every driver covers them without per-access cost.
+#ifndef NDEBUG
+#define CAMPS_AUDIT_TRANSITIONS 1
+#else
+#define CAMPS_AUDIT_TRANSITIONS 0
+#endif
+
 namespace camps::prefetch {
+
+namespace {
+
+/// Runs the scheme's audit and aborts through the CAMPS_ASSERT fail path
+/// on any violation. Only called when CAMPS_AUDIT_TRANSITIONS is on.
+[[maybe_unused]] void audit_transition(const CampsScheme& scheme) {
+  check::AuditReporter rep;
+  scheme.audit(rep);
+  if (!rep.clean()) check::audit_fail(rep);
+}
+
+}  // namespace
 
 CampsScheme::CampsScheme(const CampsParams& params)
     : p_(params), rut_(params.banks), ct_(params.conflict_entries) {
@@ -10,6 +35,13 @@ CampsScheme::CampsScheme(const CampsParams& params)
 }
 
 PrefetchDecision CampsScheme::on_demand_access(const AccessContext& ctx) {
+#if CAMPS_AUDIT_TRANSITIONS
+  // Audit on exit, after the RUT/CT hand-offs below have all settled.
+  struct TransitionAudit {
+    const CampsScheme* self;
+    ~TransitionAudit() { audit_transition(*self); }
+  } audit_on_exit{this};
+#endif
   const BankRow id{ctx.bank, ctx.row};
 
   if (ctx.outcome == dram::RowBufferOutcome::kHit) {

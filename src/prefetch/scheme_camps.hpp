@@ -21,6 +21,9 @@
 // class — the only difference is make_replacement().
 #pragma once
 
+#include <memory>
+#include <string>
+
 #include "prefetch/conflict_table.hpp"
 #include "prefetch/rut.hpp"
 #include "prefetch/scheme.hpp"
@@ -45,6 +48,14 @@ class CampsScheme final : public PrefetchScheme {
   }
   std::unique_ptr<ReplacementPolicy> make_replacement() const override;
 
+  /// Invariants: the RUT and CT individually hold (delegated), the tables
+  /// keep their configured shapes, a row's profile lives in the RUT *or*
+  /// the CT but never both (the Section 3.1 hand-off moves it atomically),
+  /// and the prefetch counters cross-foot. In debug builds this also runs
+  /// automatically after every structural transition (see
+  /// CAMPS_AUDIT_TRANSITIONS in scheme_camps.cpp).
+  void audit(check::AuditReporter& reporter) const override;
+
   // Introspection for tests and stats.
   const RowUtilizationTable& rut() const { return rut_; }
   const ConflictTable& conflict_table() const { return ct_; }
@@ -58,6 +69,8 @@ class CampsScheme final : public PrefetchScheme {
   }
 
  private:
+  friend struct check::TestCorruptor;
+
   CampsParams p_;
   RowUtilizationTable rut_;
   ConflictTable ct_;

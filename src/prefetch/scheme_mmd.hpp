@@ -17,6 +17,8 @@
 //     cf. Srinath et al. FDP, HPCA 2007).
 #pragma once
 
+#include <string>
+
 #include "prefetch/scheme.hpp"
 
 namespace camps::prefetch {

@@ -3,6 +3,8 @@
 // the DRAM substrate from all prefetching effects).
 #pragma once
 
+#include <string>
+
 #include "prefetch/scheme.hpp"
 
 namespace camps::prefetch {

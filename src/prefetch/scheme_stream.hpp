@@ -11,6 +11,7 @@
 // bench_ext_stream binary quantifies that contrast.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "prefetch/scheme.hpp"

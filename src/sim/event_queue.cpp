@@ -1,5 +1,9 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+#include <set>
+#include <string>
+
 #include "common/assert.hpp"
 
 namespace camps::sim {

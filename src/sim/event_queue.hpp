@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "check/audit.hpp"
 #include "common/types.hpp"
 
 namespace camps::sim {
@@ -150,7 +151,7 @@ class Event {
 
 using EventFn = Event;
 
-class EventQueue {
+class EventQueue final {
  public:
   /// Schedules `fn` to run at absolute time `when`. `when` must not precede
   /// the time of the most recently popped event.
@@ -170,7 +171,15 @@ class EventQueue {
 
   void clear();
 
+  /// Invariants: the heap is a valid min-heap over (when, seq); the in-heap
+  /// slots and the free list exactly partition the slab; every in-heap slot
+  /// holds a live event and every free slot an empty one; sequence numbers
+  /// are distinct and below next_seq_.
+  void audit(check::AuditReporter& reporter) const;
+
  private:
+  friend struct check::TestCorruptor;
+
   /// Heap node: the full sort key plus the slab slot of the payload. Keeping
   /// the key here (instead of dereferencing the slab in the comparator) keeps
   /// sift traffic inside one contiguous, trivially-movable array.
@@ -193,5 +202,7 @@ class EventQueue {
   std::vector<u32> free_;        ///< Recycled slab slots.
   u64 next_seq_ = 0;
 };
+
+static_assert(check::Auditable<EventQueue>);
 
 }  // namespace camps::sim

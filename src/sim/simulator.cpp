@@ -1,5 +1,8 @@
 #include "sim/simulator.hpp"
 
+#include <functional>
+#include <string>
+
 #include "common/assert.hpp"
 
 namespace camps::sim {
@@ -42,8 +45,8 @@ bool Simulator::step() {
   auto [when, fn] = queue_.pop();
   CAMPS_ASSERT(when >= now_);
   now_ = when;
-  ++executed_;
   fn();
+  after_event();
   return true;
 }
 

@@ -10,7 +10,7 @@
 
 namespace camps::sim {
 
-class Simulator {
+class Simulator final {
  public:
   Tick now() const { return now_; }
 
@@ -37,10 +37,37 @@ class Simulator {
   u64 events_executed() const { return executed_; }
   EventQueue& queue() { return queue_; }
 
+  /// Calls `fn` after every `every_events` executed events (0 disables).
+  /// The audit driver hangs its periodic model audits here; the disabled
+  /// case costs one predictable branch per event.
+  void set_event_hook(u64 every_events, std::function<void()> fn) {
+    hook_every_ = fn ? every_events : 0;
+    hook_countdown_ = hook_every_;
+    hook_ = std::move(fn);
+  }
+
+  /// Invariants: time never outruns the earliest pending event, and the
+  /// event queue's internal structure holds (delegated).
+  void audit(check::AuditReporter& reporter) const;
+
  private:
+  /// Shared post-event bookkeeping for all run variants.
+  void after_event() {
+    ++executed_;
+    if (hook_every_ != 0 && --hook_countdown_ == 0) [[unlikely]] {
+      hook_countdown_ = hook_every_;
+      hook_();
+    }
+  }
+
   EventQueue queue_;
   Tick now_ = 0;
   u64 executed_ = 0;
+  u64 hook_every_ = 0;
+  u64 hook_countdown_ = 0;
+  std::function<void()> hook_;
 };
+
+static_assert(check::Auditable<Simulator>);
 
 }  // namespace camps::sim

@@ -35,6 +35,7 @@ SystemConfig apply_overrides(SystemConfig base, const ConfigFile& cfg) {
   base.cores = static_cast<u32>(cfg.get_uint("cores", base.cores));
   base.seed = cfg.get_uint("seed", base.seed);
   base.max_cycles = cfg.get_uint("max_cycles", base.max_cycles);
+  base.audit_every = cfg.get_uint("audit_every", base.audit_every);
 
   base.core.issue_width = static_cast<u32>(
       cfg.get_uint("core.issue_width", base.core.issue_width));

@@ -24,6 +24,11 @@ struct SystemConfig {
   /// that hasn't finished its measurement window by then stops and reports
   /// partial=true (prevents hangs on mis-tuned configurations).
   u64 max_cycles = 400'000'000;
+  /// Model self-audit interval: every N executed events the whole system
+  /// (event queue, banks, RUT/CT, prefetch buffers, MSHRs, queues) is
+  /// checked against its invariants and the run aborts with a state dump on
+  /// any violation. 0 disables auditing (the default; audits cost time).
+  u64 audit_every = 0;
 
   /// Pattern geometry consistent with the HMC address map, for workload
   /// construction.
@@ -44,7 +49,7 @@ SystemConfig hmc_gen1_config(
     prefetch::SchemeKind scheme = prefetch::SchemeKind::kCampsMod);
 
 /// Applies `key = value` overrides; recognized keys (all optional):
-///   cores, seed, max_cycles,
+///   cores, seed, max_cycles, audit_every,
 ///   core.issue_width, core.max_outstanding, core.warmup, core.measure,
 ///   hmc.vaults, hmc.banks, hmc.links, hmc.rows_per_bank,
 ///   buffer.entries, buffer.hit_latency,

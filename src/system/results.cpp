@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "common/json.hpp"
 

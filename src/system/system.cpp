@@ -1,6 +1,11 @@
 #include "system/system.hpp"
 
 #include <chrono>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "workload/workloads.hpp"
 
@@ -96,10 +101,26 @@ void System::on_core_measured(CoreId /*core*/) {
   if (++measured_ == cfg_.cores) window_end_ = sim_.now();
 }
 
+void System::audit(check::AuditReporter& rep) const {
+  rep.set_tick(sim_.now());
+  sim_.audit(rep);
+  caches_->audit(rep);
+  host_->audit(rep);
+}
+
+void System::audit_or_abort() const {
+  check::AuditReporter rep;
+  audit(rep);
+  if (!rep.clean()) check::audit_fail(rep);
+}
+
 RunResults System::run() {
   CAMPS_ASSERT_MSG(!ran_, "System::run() may be called once");
   ran_ = true;
   const auto wall_start = std::chrono::steady_clock::now();
+  if (cfg_.audit_every > 0) {
+    sim_.set_event_hook(cfg_.audit_every, [this] { audit_or_abort(); });
+  }
   if (cfg_.obs.epoch_ticks > 0) {
     epoch_sampler_ = std::make_unique<obs::EpochSampler>(
         sim_, cfg_.obs.epoch_ticks, [this] { return sample_epoch(); },
@@ -118,6 +139,8 @@ RunResults System::run() {
   });
   if (partial_ || window_end_ == 0) window_end_ = sim_.now();
   if (warmed_ != cfg_.cores) window_start_ = window_end_;
+  // Closing audit: the drained end state must satisfy every invariant too.
+  if (cfg_.audit_every > 0) audit_or_abort();
   RunResults r = collect_results();
   r.events_executed = sim_.events_executed();
   r.wall_seconds = std::chrono::duration<double>(

@@ -9,6 +9,8 @@
 #pragma once
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "cpu/core.hpp"
 #include "hmc/host_controller.hpp"
@@ -29,8 +31,17 @@ class System {
   System(const System&) = delete;
   System& operator=(const System&) = delete;
 
-  /// Runs warmup + measurement and gathers results. Call once.
+  /// Runs warmup + measurement and gathers results. Call once. When
+  /// cfg_.audit_every > 0, audit() runs every that-many executed events and
+  /// once more at the end; any violation aborts via the CAMPS_ASSERT fail
+  /// path with a full state dump.
   RunResults run();
+
+  /// Audits every model structure in the system (simulator event queue,
+  /// caches/MSHRs, host controller, all vaults with their banks, prefetch
+  /// buffers, and scheme tables). Collects violations into `reporter`
+  /// without aborting, so tests can inject corruption and inspect.
+  void audit(check::AuditReporter& reporter) const;
 
   // Component access for examples/tests (valid after construction).
   sim::Simulator& simulator() { return sim_; }
@@ -45,6 +56,8 @@ class System {
 
   void on_core_warmed(CoreId core);
   void on_core_measured(CoreId core);
+  /// Runs one audit pass; aborts through check::audit_fail on violations.
+  void audit_or_abort() const;
   RunResults collect_results() const;
 
   /// Fills one EpochSample from current device/cache state.

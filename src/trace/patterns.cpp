@@ -1,6 +1,8 @@
 #include "trace/patterns.hpp"
 
 #include <algorithm>
+#include <optional>
+#include <vector>
 
 #include "common/assert.hpp"
 

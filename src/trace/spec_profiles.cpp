@@ -1,6 +1,9 @@
 #include "trace/spec_profiles.hpp"
 
+#include <memory>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 namespace camps::trace {
 namespace {

@@ -1,6 +1,7 @@
 #include "trace/trace.hpp"
 
 #include <unordered_set>
+#include <vector>
 
 namespace camps::trace {
 

@@ -3,7 +3,11 @@
 #include <array>
 #include <cstring>
 #include <fstream>
+#include <memory>
+#include <optional>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 namespace camps::trace {
 namespace {

@@ -17,6 +17,8 @@
 // the magic; the version field selects the decoder.
 #pragma once
 
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 

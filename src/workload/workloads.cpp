@@ -1,6 +1,9 @@
 #include "workload/workloads.hpp"
 
+#include <memory>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 namespace camps::workload {
 namespace {

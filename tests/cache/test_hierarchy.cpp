@@ -1,7 +1,9 @@
 // Three-level hierarchy: latency composition, fills, writebacks, MSHRs.
-#include <gtest/gtest.h>
 
+#include <functional>
+#include <gtest/gtest.h>
 #include <map>
+#include <vector>
 
 #include "cache/hierarchy.hpp"
 

@@ -1,6 +1,7 @@
 #include "cache/mshr.hpp"
 
 #include <gtest/gtest.h>
+#include <vector>
 
 namespace camps::cache {
 namespace {

@@ -1,0 +1,269 @@
+// Audit subsystem tests: the reporter/scope machinery, clean audits of
+// healthy components, and — the important half — corruption injection:
+// damage a component's private state through the TestCorruptor back door
+// and assert the audit *reports* the violation. A checker that cannot see
+// planted corruption would silently pass the periodic --audit-every runs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "cache/mshr.hpp"
+#include "check/audit.hpp"
+#include "dram/bank.hpp"
+#include "prefetch/conflict_table.hpp"
+#include "prefetch/prefetch_buffer.hpp"
+#include "prefetch/replacement.hpp"
+#include "prefetch/rut.hpp"
+#include "prefetch/scheme_camps.hpp"
+#include "sim/event_queue.hpp"
+#include "system/system.hpp"
+
+namespace camps::check {
+
+// The test-only back door the model classes befriend. Each hook plants one
+// specific inconsistency that a correct audit must flag.
+struct TestCorruptor {
+  static void duplicate_ct_entry(prefetch::ConflictTable& ct) {
+    ct.lru_.push_back(ct.lru_.front());
+  }
+  static void overflow_ct(prefetch::ConflictTable& ct) {
+    for (u32 i = 0; i <= ct.capacity_; ++i) {
+      ct.lru_.push_back(BankRow{15, 40'000 + i});
+    }
+  }
+  static void duplicate_recency(prefetch::PrefetchBuffer& buffer) {
+    buffer.mru_order_.push_back(buffer.mru_order_.front());
+  }
+  static void skew_utilization(prefetch::PrefetchBuffer& buffer) {
+    for (auto& entry : buffer.slots_) {
+      if (entry.valid) {
+        entry.utilization += 7;
+        return;
+      }
+    }
+  }
+  static void scramble_bank_state(dram::Bank& bank) {
+    bank.raw_state_ = static_cast<dram::BankState>(250);
+  }
+  static void unbalance_bank_counters(dram::Bank& bank) { ++bank.n_pre_; }
+  static void delay_heap_root(sim::EventQueue& queue) {
+    queue.heap_.front().when += Tick{1} << 40;
+  }
+  static void cross_rut_ct(prefetch::CampsScheme& scheme, BankId bank,
+                           RowId row) {
+    scheme.ct_.insert(BankRow{bank, row});
+  }
+};
+
+namespace {
+
+bool reports(const AuditReporter& rep, const std::string& invariant) {
+  const auto& v = rep.violations();
+  return std::any_of(v.begin(), v.end(), [&](const Violation& x) {
+    return x.invariant == invariant;
+  });
+}
+
+TEST(AuditReporter, ScopesNestIntoDottedComponentNames) {
+  AuditReporter rep;
+  rep.set_tick(42);
+  {
+    const AuditScope outer(rep, "vault3");
+    {
+      const AuditScope inner(rep, "bank7");
+      rep.violation("test-rule", "something broke");
+    }
+    EXPECT_EQ(rep.component(), "vault3");
+  }
+  ASSERT_EQ(rep.violations().size(), 1u);
+  EXPECT_EQ(rep.violations()[0].component, "vault3.bank7");
+  EXPECT_EQ(rep.violations()[0].invariant, "test-rule");
+  EXPECT_EQ(rep.violations()[0].tick, 42u);
+  EXPECT_NE(rep.report().find("vault3.bank7"), std::string::npos);
+  EXPECT_NE(rep.report().find("test-rule"), std::string::npos);
+}
+
+TEST(AuditReporter, ExpectCountsChecksAndRecordsOnlyFailures) {
+  AuditReporter rep;
+  EXPECT_TRUE(rep.expect(true, "holds", "fine"));
+  EXPECT_FALSE(rep.expect(false, "broken", "not fine"));
+  EXPECT_EQ(rep.checks_run(), 2u);
+  ASSERT_EQ(rep.violations().size(), 1u);
+  EXPECT_EQ(rep.violations()[0].invariant, "broken");
+  EXPECT_FALSE(rep.clean());
+}
+
+TEST(AuditFail, AbortsThroughTheAssertPath) {
+  AuditReporter rep;
+  rep.violation("planted", "deliberate for the death test");
+  EXPECT_DEATH(audit_fail(rep), "model audit");
+}
+
+// --- clean components must audit clean ---------------------------------
+
+TEST(CleanAudit, EventQueueAfterMixedTraffic) {
+  sim::EventQueue q;
+  int fired = 0;
+  for (int i = 0; i < 16; ++i) q.schedule(100 - i, [&fired] { ++fired; });
+  for (int i = 0; i < 5; ++i) q.pop().second();
+  AuditReporter rep;
+  q.audit(rep);
+  EXPECT_TRUE(rep.clean()) << rep.report();
+  EXPECT_GT(rep.checks_run(), 0u);
+}
+
+TEST(CleanAudit, BankThroughLegalCommandSequence) {
+  const dram::TimingParams t = dram::default_timing();
+  dram::Bank bank(t);
+  auto audit_clean = [&bank](const char* when) {
+    AuditReporter rep;
+    bank.audit(rep);
+    EXPECT_TRUE(rep.clean()) << when << ":\n" << rep.report();
+  };
+  audit_clean("fresh");
+  u64 cycle = bank.earliest_activate(0);
+  bank.activate(cycle, 17);
+  audit_clean("after ACT");
+  cycle = bank.earliest_column(cycle);
+  bank.read(cycle);
+  audit_clean("after RD");
+  cycle = bank.earliest_precharge(cycle);
+  bank.precharge(cycle);
+  audit_clean("after PRE");
+}
+
+TEST(CleanAudit, CampsTablesAfterSchemeTraffic) {
+  prefetch::CampsScheme scheme;
+  prefetch::AccessContext ctx;
+  for (u32 i = 0; i < 200; ++i) {
+    ctx.bank = i % 16;
+    ctx.row = (i * 7) % 64;
+    ctx.outcome = (i % 3 == 0) ? dram::RowBufferOutcome::kHit
+                               : dram::RowBufferOutcome::kConflict;
+    scheme.on_demand_access(ctx);
+  }
+  AuditReporter rep;
+  scheme.audit(rep);
+  EXPECT_TRUE(rep.clean()) << rep.report();
+  EXPECT_GT(rep.checks_run(), 0u);
+}
+
+TEST(CleanAudit, PrefetchBufferAndMshr) {
+  prefetch::PrefetchBuffer buffer({.entries = 4, .lines_per_row = 16},
+                                  prefetch::make_lru());
+  for (u32 r = 0; r < 6; ++r) buffer.insert(BankRow{0, r});
+  buffer.access(BankRow{0, 4}, 3, AccessType::kRead);
+  cache::MshrFile mshrs(8);
+  mshrs.allocate(0x1000, [] {});
+  mshrs.allocate(0x1000, [] {});
+  AuditReporter rep;
+  buffer.audit(rep);
+  mshrs.audit(rep);
+  EXPECT_TRUE(rep.clean()) << rep.report();
+}
+
+// --- corruption injection: the audit must see planted damage ------------
+
+TEST(CorruptionAudit, ConflictTableLruDuplicate) {
+  prefetch::ConflictTable ct(8);
+  ct.insert(BankRow{2, 30});
+  ct.insert(BankRow{3, 31});
+  TestCorruptor::duplicate_ct_entry(ct);
+  AuditReporter rep;
+  ct.audit(rep);
+  EXPECT_TRUE(reports(rep, "ct-duplicate")) << rep.report();
+}
+
+TEST(CorruptionAudit, ConflictTableOverflow) {
+  prefetch::ConflictTable ct(8);
+  TestCorruptor::overflow_ct(ct);
+  AuditReporter rep;
+  ct.audit(rep);
+  EXPECT_TRUE(reports(rep, "ct-capacity")) << rep.report();
+}
+
+TEST(CorruptionAudit, RecencyStackNotAPermutation) {
+  prefetch::PrefetchBuffer buffer({.entries = 8, .lines_per_row = 16},
+                                  prefetch::make_lru());
+  buffer.insert(BankRow{1, 10});
+  buffer.insert(BankRow{1, 11});
+  TestCorruptor::duplicate_recency(buffer);
+  AuditReporter rep;
+  buffer.audit(rep);
+  EXPECT_TRUE(reports(rep, "recency-permutation")) << rep.report();
+}
+
+TEST(CorruptionAudit, UtilizationCounterDriftsFromBitmap) {
+  prefetch::PrefetchBuffer buffer({.entries = 8, .lines_per_row = 16},
+                                  prefetch::make_lru());
+  buffer.insert(BankRow{1, 10});
+  buffer.access(BankRow{1, 10}, 5, AccessType::kRead);
+  TestCorruptor::skew_utilization(buffer);
+  AuditReporter rep;
+  buffer.audit(rep);
+  EXPECT_TRUE(reports(rep, "utilization-popcount")) << rep.report();
+}
+
+TEST(CorruptionAudit, BankFsmStateOutOfRange) {
+  const dram::TimingParams t = dram::default_timing();
+  dram::Bank bank(t);
+  TestCorruptor::scramble_bank_state(bank);
+  AuditReporter rep;
+  bank.audit(rep);
+  EXPECT_TRUE(reports(rep, "fsm-state")) << rep.report();
+}
+
+TEST(CorruptionAudit, BankPrechargeWithoutActivate) {
+  const dram::TimingParams t = dram::default_timing();
+  dram::Bank bank(t);
+  bank.activate(bank.earliest_activate(0), 3);
+  TestCorruptor::unbalance_bank_counters(bank);
+  AuditReporter rep;
+  bank.audit(rep);
+  EXPECT_TRUE(reports(rep, "act-pre-balance")) << rep.report();
+}
+
+TEST(CorruptionAudit, EventQueueHeapOrderBroken) {
+  sim::EventQueue q;
+  for (int i = 0; i < 8; ++i) q.schedule(10 + i, [] {});
+  TestCorruptor::delay_heap_root(q);
+  AuditReporter rep;
+  q.audit(rep);
+  EXPECT_TRUE(reports(rep, "heap-order")) << rep.report();
+}
+
+TEST(CorruptionAudit, RowProfiledInRutAndArchivedInCt) {
+  prefetch::CampsScheme scheme;
+  prefetch::AccessContext ctx;
+  ctx.bank = 4;
+  ctx.row = 99;
+  ctx.outcome = dram::RowBufferOutcome::kEmpty;
+  scheme.on_demand_access(ctx);  // installs (4, 99) in the RUT
+  TestCorruptor::cross_rut_ct(scheme, 4, 99);
+  AuditReporter rep;
+  scheme.audit(rep);
+  EXPECT_TRUE(reports(rep, "rut-ct-exclusive")) << rep.report();
+}
+
+// --- end-to-end: a real run under --audit-every stays clean -------------
+
+TEST(SystemAudit, PeriodicAuditsRunCleanOverAWorkload) {
+  system::SystemConfig cfg =
+      system::table1_config(prefetch::SchemeKind::kCampsMod);
+  cfg.core.warmup_instructions = 2'000;
+  cfg.core.measure_instructions = 6'000;
+  cfg.audit_every = 500;  // run() aborts on any violation
+  auto sys = system::make_workload_system(cfg, "MX1");
+  const auto results = sys->run();
+  EXPECT_FALSE(results.partial);
+
+  AuditReporter rep;
+  sys->audit(rep);
+  EXPECT_TRUE(rep.clean()) << rep.report();
+  // The whole tree reported in: event queue, caches, and all 32 vaults.
+  EXPECT_GT(rep.checks_run(), 1000u);
+}
+
+}  // namespace
+}  // namespace camps::check

@@ -1,9 +1,10 @@
 #include "common/config_file.hpp"
 
-#include <gtest/gtest.h>
 
 #include <cstdio>
 #include <fstream>
+#include <gtest/gtest.h>
+#include <string>
 
 namespace camps {
 namespace {

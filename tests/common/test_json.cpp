@@ -2,9 +2,10 @@
 // streaming writer, and StatRegistry::dump_json's schema.
 #include "common/json.hpp"
 
-#include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <gtest/gtest.h>
+#include <string>
 
 #include "common/stats.hpp"
 

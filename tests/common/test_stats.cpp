@@ -1,6 +1,7 @@
 #include "common/stats.hpp"
 
 #include <gtest/gtest.h>
+#include <string>
 
 namespace camps {
 namespace {

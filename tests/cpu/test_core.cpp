@@ -1,6 +1,9 @@
 // Trace-driven core: issue pacing, the outstanding-load window, and the
 // warmup/measurement methodology hooks.
+#include <functional>
 #include <gtest/gtest.h>
+#include <memory>
+#include <vector>
 
 #include "cpu/core.hpp"
 

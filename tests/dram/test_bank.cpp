@@ -1,6 +1,7 @@
 #include "dram/bank.hpp"
 
 #include <gtest/gtest.h>
+#include <optional>
 
 namespace camps::dram {
 namespace {

@@ -1,6 +1,7 @@
 #include "energy/energy_model.hpp"
 
 #include <gtest/gtest.h>
+#include <string>
 
 namespace camps::energy {
 namespace {

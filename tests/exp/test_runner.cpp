@@ -1,8 +1,10 @@
 #include "exp/runner.hpp"
 
-#include <gtest/gtest.h>
 
 #include <cmath>
+#include <gtest/gtest.h>
+#include <string>
+#include <vector>
 
 namespace camps::exp {
 namespace {

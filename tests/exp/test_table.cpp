@@ -1,10 +1,11 @@
 #include "exp/table.hpp"
 
-#include <gtest/gtest.h>
 
 #include <cstdio>
 #include <fstream>
+#include <gtest/gtest.h>
 #include <sstream>
+#include <string>
 
 namespace camps::exp {
 namespace {

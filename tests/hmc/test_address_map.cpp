@@ -1,8 +1,9 @@
 #include "hmc/address_map.hpp"
 
-#include <gtest/gtest.h>
 
+#include <gtest/gtest.h>
 #include <set>
+#include <vector>
 
 namespace camps::hmc {
 namespace {

@@ -1,5 +1,6 @@
 // Whole-device and host-controller behaviour.
 #include <gtest/gtest.h>
+#include <memory>
 
 #include "hmc/host_controller.hpp"
 

@@ -1,7 +1,10 @@
 // Vault controller: queues, FR-FCFS, prefetch engine integration, refresh.
-#include <gtest/gtest.h>
 
+#include <gtest/gtest.h>
 #include <map>
+#include <memory>
+#include <optional>
+#include <vector>
 
 #include "hmc/vault_controller.hpp"
 #include "prefetch/factory.hpp"

@@ -1,6 +1,8 @@
 #include "obs/chrome_trace.hpp"
 
 #include <gtest/gtest.h>
+#include <string>
+#include <vector>
 
 namespace camps::obs {
 namespace {

@@ -1,6 +1,8 @@
 #include "obs/epoch_sampler.hpp"
 
 #include <gtest/gtest.h>
+#include <string>
+#include <vector>
 
 #include "sim/simulator.hpp"
 

@@ -1,6 +1,7 @@
 #include "prefetch/prefetch_buffer.hpp"
 
 #include <gtest/gtest.h>
+#include <optional>
 
 namespace camps::prefetch {
 namespace {

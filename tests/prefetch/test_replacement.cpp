@@ -1,6 +1,8 @@
 #include "prefetch/replacement.hpp"
 
 #include <gtest/gtest.h>
+#include <memory>
+#include <vector>
 
 namespace camps::prefetch {
 namespace {

@@ -9,6 +9,9 @@
 // the structural requirements are that every HM benchmark clears the HM
 // bound with margin and sits far above every LM benchmark.
 #include <gtest/gtest.h>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "system/system.hpp"
 #include "trace/spec_profiles.hpp"

@@ -1,5 +1,6 @@
 // Cross-cutting integration behaviours at full-system scale.
 #include <gtest/gtest.h>
+#include <string>
 
 #include "system/system.hpp"
 

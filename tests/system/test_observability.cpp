@@ -1,9 +1,10 @@
 // Observability integration: request-lifecycle tracing, the latency
 // breakdown, machine-readable exports, and the epoch sampler — all running
 // through the full system stack.
-#include <gtest/gtest.h>
 
+#include <gtest/gtest.h>
 #include <set>
+#include <string>
 
 #include "exp/runner.hpp"
 #include "system/system.hpp"

@@ -1,8 +1,10 @@
 #include "system/results.hpp"
 
-#include <gtest/gtest.h>
 
 #include <cmath>
+#include <gtest/gtest.h>
+#include <string>
+#include <vector>
 
 namespace camps::system {
 namespace {

@@ -1,5 +1,7 @@
 // Whole-system integration: small-scale runs through the full stack.
 #include <gtest/gtest.h>
+#include <memory>
+#include <vector>
 
 #include "system/system.hpp"
 

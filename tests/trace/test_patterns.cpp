@@ -1,10 +1,12 @@
 #include "trace/patterns.hpp"
 
-#include <gtest/gtest.h>
 
+#include <gtest/gtest.h>
 #include <map>
+#include <memory>
 #include <set>
 #include <unordered_map>
+#include <vector>
 
 namespace camps::trace {
 namespace {

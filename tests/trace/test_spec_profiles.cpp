@@ -1,8 +1,9 @@
 #include "trace/spec_profiles.hpp"
 
-#include <gtest/gtest.h>
 
+#include <gtest/gtest.h>
 #include <set>
+#include <string>
 
 namespace camps::trace {
 namespace {

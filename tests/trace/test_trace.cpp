@@ -1,6 +1,7 @@
 #include "trace/trace.hpp"
 
 #include <gtest/gtest.h>
+#include <vector>
 
 namespace camps::trace {
 namespace {

@@ -1,9 +1,11 @@
 #include "trace/trace_io.hpp"
 
-#include <gtest/gtest.h>
 
 #include <cstdio>
 #include <fstream>
+#include <gtest/gtest.h>
+#include <string>
+#include <vector>
 
 namespace camps::trace {
 namespace {

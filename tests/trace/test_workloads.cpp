@@ -1,6 +1,8 @@
 #include "workload/workloads.hpp"
 
+#include <array>
 #include <gtest/gtest.h>
+#include <string>
 
 namespace camps::workload {
 namespace {

@@ -13,6 +13,8 @@
 //     --warmup=N         warmup instructions per core
 //     --measure=N        measured instructions per core
 //     --seed=N           workload seed
+//     --audit            audit model invariants every 100000 events
+//     --audit-every=N    audit model invariants every N executed events
 //     --stats            dump the full statistics registry
 //     --energy           dump the energy event breakdown
 //     --stats-json=FILE  write results + statistics registry as JSON
@@ -25,6 +27,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/json.hpp"
 #include "common/log.hpp"
@@ -36,8 +39,8 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--workload=ID] [--scheme=NAME] [--config=FILE]\n"
-               "          [--warmup=N] [--measure=N] [--seed=N] [--stats] "
-               "[--energy]\n"
+               "          [--warmup=N] [--measure=N] [--seed=N]\n"
+               "          [--audit] [--audit-every=N] [--stats] [--energy]\n"
                "          [--stats-json=FILE] [--trace-out=FILE] "
                "[--trace-cap=N]\n"
                "          [--epoch-ticks=N] [--epoch-csv=FILE] "
@@ -63,6 +66,8 @@ int main(int argc, char** argv) {
   std::string scheme_override;
   u64 warmup = 0, measure = 0, seed = 0;
   bool have_warmup = false, have_measure = false, have_seed = false;
+  u64 audit_every = 0;
+  bool have_audit = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -84,6 +89,12 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--seed=", 0) == 0) {
       seed = std::strtoull(value("--seed="), nullptr, 10);
       have_seed = true;
+    } else if (arg == "--audit") {
+      audit_every = 100'000;
+      have_audit = true;
+    } else if (arg.rfind("--audit-every=", 0) == 0) {
+      audit_every = std::strtoull(value("--audit-every="), nullptr, 10);
+      have_audit = true;
     } else if (arg == "--stats") {
       dump_stats = true;
     } else if (arg == "--energy") {
@@ -141,6 +152,7 @@ int main(int argc, char** argv) {
     if (have_warmup) cfg.core.warmup_instructions = warmup;
     if (have_measure) cfg.core.measure_instructions = measure;
     if (have_seed) cfg.seed = seed;
+    if (have_audit) cfg.audit_every = audit_every;
     cfg.obs.trace_enabled = !trace_out_path.empty();
     if (trace_cap > 0) cfg.obs.trace_capacity = static_cast<u32>(trace_cap);
     // An epoch output without an explicit period gets a sensible default
