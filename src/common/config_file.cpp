@@ -144,4 +144,48 @@ std::vector<std::string> ConfigFile::keys() const {
   return out;
 }
 
+namespace {
+
+/// Levenshtein distance, for did-you-mean suggestions on unknown keys.
+size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diag = row[0];
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const size_t up = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                         diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
+
+void ConfigFile::require_known(const std::vector<std::string>& known) const {
+  std::string errors;
+  for (const auto& [key, _] : values_) {
+    if (std::find(known.begin(), known.end(), key) != known.end()) continue;
+    if (!errors.empty()) errors += "; ";
+    errors += "unknown config key '" + key + "'";
+    // Suggest the closest known key when it is plausibly a typo.
+    const std::string* best = nullptr;
+    size_t best_dist = 0;
+    for (const std::string& k : known) {
+      const size_t d = edit_distance(key, k);
+      if (best == nullptr || d < best_dist) {
+        best = &k;
+        best_dist = d;
+      }
+    }
+    if (best != nullptr && best_dist <= std::max<size_t>(2, key.size() / 4)) {
+      errors += " (did you mean '" + *best + "'?)";
+    }
+  }
+  if (!errors.empty()) throw std::runtime_error(errors);
+}
+
 }  // namespace camps

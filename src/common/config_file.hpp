@@ -43,6 +43,12 @@ class ConfigFile {
   /// All keys, sorted.
   std::vector<std::string> keys() const;
 
+  /// Validates that every key present is in `known`. Throws
+  /// std::runtime_error naming each unknown key — with a did-you-mean
+  /// suggestion when a known key is a near miss — so a typo like
+  /// `audit_evry` fails loudly instead of silently using the default.
+  void require_known(const std::vector<std::string>& known) const;
+
  private:
   std::map<std::string, std::string> values_;
 };

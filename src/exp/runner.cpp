@@ -29,6 +29,7 @@ system::SystemConfig ExperimentConfig::system_config(
   cfg.max_cycles = max_cycles;
   cfg.audit_every = audit_every;
   cfg.obs = obs;
+  cfg.hmc.fault = fault;
   return cfg;
 }
 

@@ -1,0 +1,81 @@
+// Deterministic fault plan: decides, packet by packet, where faults strike.
+//
+// Each (site, unit) pair owns a monotonically increasing packet sequence
+// counter; a fault decision is a pure hash of (seed, site, unit, sequence)
+// compared against the configured rate. No shared RNG stream exists, so the
+// decision for the Nth packet through a site never depends on traffic at
+// any other site, on thread count, or on sweep ordering — a fault campaign
+// is bit-identical across --jobs values by construction (the same property
+// the rest of the simulator guarantees for fault-free runs).
+//
+// The plan also owns the fault-side statistics: injected/recovered counters
+// per mechanism and the per-fault recovery-latency histogram, registered
+// under "fault.*" in the run's StatRegistry.
+#pragma once
+
+#include <map>
+
+#include "common/stats.hpp"
+#include "fault/fault_config.hpp"
+
+namespace camps::fault {
+
+class FaultPlan final {
+ public:
+  explicit FaultPlan(const FaultConfig& config, StatRegistry* stats);
+
+  const FaultConfig& config() const { return cfg_; }
+
+  /// Draws the next decision for `unit` at `site`: advances that site's
+  /// sequence counter and returns true when the packet faults (by rate or
+  /// by a targeted fault pinned to this exact coordinate).
+  bool roll(Site site, u32 unit);
+
+  /// Sequence counter a (site, unit) pair will use next (tests pin
+  /// targeted faults against this).
+  u64 next_sequence(Site site, u32 unit) const;
+
+  // --- recovery bookkeeping (counters may be null-registry no-ops) ------
+  void count_crc_error() { inc(c_crc_errors_); }
+  void count_replay(Tick recovery_ticks);
+  void count_link_drop() { inc(c_link_drops_); }
+  void count_xbar_drop() { inc(c_xbar_drops_); }
+  void count_vault_stall() { inc(c_vault_stalls_); }
+  void count_host_retry() { inc(c_host_retries_); }
+  void count_host_poison(Tick recovery_ticks);
+  /// A retried request's response finally arrived.
+  void count_host_recovery(Tick recovery_ticks);
+  void count_late_response() { inc(c_late_responses_); }
+  void count_degrade_flush() { inc(c_degrade_flushes_); }
+  void count_token_stall_ticks(Tick ticks) {
+    if (c_token_stall_ticks_ != nullptr) c_token_stall_ticks_->inc(ticks);
+  }
+
+  /// Faults injected so far, summed over every mechanism.
+  u64 injected() const;
+
+ private:
+  static void inc(Counter* c) {
+    if (c != nullptr) c->inc();
+  }
+  double rate_for(Site site) const;
+
+  FaultConfig cfg_;
+  /// Per-(site, unit) packet sequence counters. Ordered map: iterated only
+  /// for audits, and the key space is tiny (sites x links/vaults).
+  std::map<std::pair<u8, u32>, u64> sequences_;
+
+  Counter* c_crc_errors_ = nullptr;
+  Counter* c_replays_ = nullptr;
+  Counter* c_link_drops_ = nullptr;
+  Counter* c_xbar_drops_ = nullptr;
+  Counter* c_vault_stalls_ = nullptr;
+  Counter* c_host_retries_ = nullptr;
+  Counter* c_host_poisoned_ = nullptr;
+  Counter* c_late_responses_ = nullptr;
+  Counter* c_degrade_flushes_ = nullptr;
+  Counter* c_token_stall_ticks_ = nullptr;
+  Histogram* h_recovery_ = nullptr;  ///< Recovery latency, CPU cycles.
+};
+
+}  // namespace camps::fault

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "fault/fault_plan.hpp"
 
 namespace camps::hmc {
 
@@ -11,8 +12,17 @@ Crossbar::Crossbar(u32 output_ports, const CrossbarParams& params)
   CAMPS_ASSERT(output_ports > 0);
 }
 
-Tick Crossbar::route(Tick now, u32 port, u64 trace_id) {
+Crossbar::Routed Crossbar::route_ex(Tick now, u32 port, u64 trace_id) {
   CAMPS_ASSERT(port < port_free_.size());
+  if (plan_ != nullptr &&
+      plan_->roll(fault::Site::kXbarDrop, fault_unit_base_ + port)) {
+    // The arbiter's grant was lost: the packet never traverses and the
+    // output port's schedule is untouched. Recovery belongs to the
+    // requester (host timeout path).
+    ++drops_;
+    plan_->count_xbar_drop();
+    return Routed{0, true};
+  }
   const Tick start = std::max(now, port_free_[port]);
   port_free_[port] = start + p_.port_interval_ticks;
   ++packets_;
@@ -20,7 +30,7 @@ Tick Crossbar::route(Tick now, u32 port, u64 trace_id) {
   if (trace_ != nullptr) {
     trace_->record(trace_stage_, port, trace_id, now, deliver);
   }
-  return deliver;
+  return Routed{deliver, false};
 }
 
 }  // namespace camps::hmc

@@ -13,6 +13,10 @@
 #include "common/types.hpp"
 #include "obs/trace_recorder.hpp"
 
+namespace camps::fault {
+class FaultPlan;
+}  // namespace camps::fault
+
 namespace camps::hmc {
 
 struct CrossbarParams {
@@ -28,10 +32,23 @@ class Crossbar {
  public:
   Crossbar(u32 output_ports, const CrossbarParams& params = {});
 
+  /// Outcome of one traversal attempt.
+  struct Routed {
+    Tick deliver = 0;     ///< Meaningless when dropped.
+    bool dropped = false; ///< Grant lost (injected fault); never forwarded.
+  };
+
   /// Routes a packet submitted at `now` toward `port`; returns delivery
   /// tick at that port. Per-port FIFO order is preserved. `trace_id` tags
   /// the traversal span when tracing is armed.
-  Tick route(Tick now, u32 port, u64 trace_id = 0);
+  Tick route(Tick now, u32 port, u64 trace_id = 0) {
+    return route_ex(now, port, trace_id).deliver;
+  }
+
+  /// route() variant exposing grant drops under fault injection. A dropped
+  /// grant does not advance the port's schedule — the packet simply never
+  /// traversed.
+  Routed route_ex(Tick now, u32 port, u64 trace_id = 0);
 
   /// Arms span recording (stage kXbarDown or kXbarUp, lane = output port).
   void attach_trace(obs::TraceRecorder* trace, obs::Stage stage) {
@@ -39,15 +56,27 @@ class Crossbar {
     trace_stage_ = stage;
   }
 
+  /// Arms fault injection. `unit_base` offsets this crossbar's ports in
+  /// the plan's sequence space so the down and up crossbars draw
+  /// independent decision streams.
+  void attach_faults(fault::FaultPlan* plan, u32 unit_base) {
+    plan_ = plan;
+    fault_unit_base_ = unit_base;
+  }
+
   u64 packets_routed() const { return packets_; }
+  u64 grants_dropped() const { return drops_; }
   u32 ports() const { return static_cast<u32>(port_free_.size()); }
 
  private:
   CrossbarParams p_;
   obs::TraceRecorder* trace_ = nullptr;
   obs::Stage trace_stage_ = obs::Stage::kXbarDown;
+  fault::FaultPlan* plan_ = nullptr;
+  u32 fault_unit_base_ = 0;
   std::vector<Tick> port_free_;
   u64 packets_ = 0;
+  u64 drops_ = 0;
 };
 
 }  // namespace camps::hmc

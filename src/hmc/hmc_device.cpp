@@ -21,14 +21,34 @@ HmcDevice::HmcDevice(sim::Simulator& sim, const HmcConfig& config,
       deliver_(std::move(deliver)),
       trace_(trace) {
   CAMPS_ASSERT(cfg_.num_links > 0);
+  if (cfg_.fault.enabled()) {
+    fault_plan_ = std::make_unique<fault::FaultPlan>(cfg_.fault, stats);
+    vault_fault_counts_.assign(cfg_.geometry.vaults, 0);
+  }
+  // The flow-control pool rides on LinkParams so the link model owns the
+  // whole credit loop; the fault config is just where users set it.
+  LinkParams link_params = cfg_.link;
+  if (fault_plan_ != nullptr && cfg_.fault.link_tokens > 0) {
+    link_params.tokens = cfg_.fault.link_tokens;
+  }
   links_.reserve(cfg_.num_links);
   for (u32 l = 0; l < cfg_.num_links; ++l) {
-    links_.push_back(std::make_unique<SerialLink>(cfg_.link));
+    links_.push_back(std::make_unique<SerialLink>(link_params));
     links_[l]->downstream().attach_trace(trace_, obs::Stage::kLinkDown, l);
     links_[l]->upstream().attach_trace(trace_, obs::Stage::kLinkUp, l);
+    if (fault_plan_ != nullptr) {
+      links_[l]->downstream().attach_faults(fault_plan_.get(), l, false);
+      links_[l]->upstream().attach_faults(fault_plan_.get(), l, true);
+    }
   }
   down_xbar_.attach_trace(trace_, obs::Stage::kXbarDown);
   up_xbar_.attach_trace(trace_, obs::Stage::kXbarUp);
+  if (fault_plan_ != nullptr) {
+    // Disjoint unit bases keep the two crossbars' decision streams
+    // independent (down ports are vault ids, up ports are link ids).
+    down_xbar_.attach_faults(fault_plan_.get(), 0);
+    up_xbar_.attach_faults(fault_plan_.get(), cfg_.geometry.vaults);
+  }
   if (stats != nullptr) {
     h_lat_host_queue_ = &stats->histogram("latency.host_queue_cycles",
                                           /*bucket_width=*/8,
@@ -65,6 +85,7 @@ void HmcDevice::submit(const MemRequest& request, Tick now) {
   energy_.add(EnergyEvent::kLinkFlit, flits);
   const auto xfer =
       links_[link_idx]->downstream().submit_ex(now, flits, request.id);
+  if (xfer.dropped) return;  // lost on the link; host timeout recovers
   if (h_lat_host_queue_ != nullptr) {
     h_lat_host_queue_->sample((xfer.start - now) / sim::kCpuTicksPerCycle);
   }
@@ -77,7 +98,9 @@ void HmcDevice::submit(const MemRequest& request, Tick now) {
                    xfer.start);
   }
   const Tick at_xbar = xfer.deliver;
-  const Tick at_vault = down_xbar_.route(at_xbar, decoded.vault, request.id);
+  const auto routed = down_xbar_.route_ex(at_xbar, decoded.vault, request.id);
+  if (routed.dropped) return;  // grant lost; host timeout recovers
+  const Tick at_vault = routed.deliver;
   VaultController* vault = vaults_[decoded.vault].get();
   sim_.schedule_at(at_vault, [vault, request, decoded, at_vault] {
     vault->receive(request, decoded, at_vault);
@@ -87,18 +110,39 @@ void HmcDevice::submit(const MemRequest& request, Tick now) {
 void HmcDevice::on_vault_response(const MemRequest& request, VaultId vault,
                                   Tick ready) {
   // Reads only (writes are posted). Chain: crossbar -> upstream link.
+  if (fault_plan_ != nullptr &&
+      fault_plan_->roll(fault::Site::kVaultStall, vault)) {
+    // The vault's response logic hiccuped (ECC scrub, TSV retrain, ...):
+    // the data leaves late. Repeated stalls degrade the vault.
+    fault_plan_->count_vault_stall();
+    ready += cfg_.fault.vault_stall_ticks;
+    note_vault_fault(vault);
+  }
   const u32 link_idx = vault % cfg_.num_links;
   const u32 flits = flits_for(PacketKind::kReadResp);
   energy_.add(EnergyEvent::kLinkFlit, flits);
-  const Tick at_link = up_xbar_.route(ready, link_idx, request.id);
+  const auto routed = up_xbar_.route_ex(ready, link_idx, request.id);
+  if (routed.dropped) return;  // response lost; host timeout recovers
   const auto xfer =
-      links_[link_idx]->upstream().submit_ex(at_link, flits, request.id);
+      links_[link_idx]->upstream().submit_ex(routed.deliver, flits,
+                                             request.id);
+  if (xfer.dropped) return;  // response lost; host timeout recovers
   if (h_lat_link_up_ != nullptr) {
     h_lat_link_up_->sample((xfer.deliver - xfer.start) /
                            sim::kCpuTicksPerCycle);
   }
   const Tick at_host = xfer.deliver;
   sim_.schedule_at(at_host, [this, request] { deliver_(request); });
+}
+
+void HmcDevice::note_vault_fault(VaultId vault) {
+  if (cfg_.fault.vault_degrade_threshold == 0) return;
+  if (++vault_fault_counts_[vault] < cfg_.fault.vault_degrade_threshold) {
+    return;
+  }
+  vault_fault_counts_[vault] = 0;
+  vaults_[vault]->degrade_flush();
+  fault_plan_->count_degrade_flush();
 }
 
 void HmcDevice::reset_stats() {

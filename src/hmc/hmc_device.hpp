@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/fault_plan.hpp"
 #include "hmc/crossbar.hpp"
 #include "hmc/serial_link.hpp"
 #include "hmc/vault_controller.hpp"
@@ -27,6 +28,11 @@ struct HmcConfig {
   u32 num_links = 4;
   CrossbarParams crossbar;
   energy::EnergyParams energy;
+  /// Fault injection (disabled by default; see fault/fault_config.hpp).
+  /// When disabled the device constructs no plan and every fault branch is
+  /// a null-pointer check — behaviour and event counts are bit-identical
+  /// to a build without the subsystem.
+  fault::FaultConfig fault;
 };
 
 class HmcDevice {
@@ -47,6 +53,9 @@ class HmcDevice {
 
   const AddressMap& map() const { return map_; }
   const HmcConfig& config() const { return cfg_; }
+  /// The fault plan, or nullptr when fault injection is disabled.
+  fault::FaultPlan* fault_plan() { return fault_plan_.get(); }
+  const fault::FaultPlan* fault_plan() const { return fault_plan_.get(); }
   energy::EnergyModel& energy() { return energy_; }
   const energy::EnergyModel& energy() const { return energy_; }
   const VaultController& vault(VaultId id) const { return *vaults_[id]; }
@@ -81,10 +90,15 @@ class HmcDevice {
  private:
   void on_vault_response(const MemRequest& request, VaultId vault,
                          Tick ready);
+  /// Records one fault attributed to `vault`; triggers its degradation
+  /// flush every `vault_degrade_threshold` faults.
+  void note_vault_fault(VaultId vault);
 
   sim::Simulator& sim_;
   HmcConfig cfg_;
   AddressMap map_;
+  std::unique_ptr<fault::FaultPlan> fault_plan_;  ///< Null: faults off.
+  std::vector<u32> vault_fault_counts_;  ///< Since the last degrade flush.
   energy::EnergyModel energy_;
   std::vector<std::unique_ptr<SerialLink>> links_;
   Crossbar down_xbar_;  ///< Link -> vault ports.

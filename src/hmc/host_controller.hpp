@@ -4,12 +4,21 @@
 // tracks outstanding reads, invokes per-request completion callbacks, and
 // measures main-memory access latency (request submission to response
 // delivery) — the raw material of the paper's AMAT metric (Fig. 8).
+//
+// Fault recovery: when the device carries a FaultPlan, every read arms a
+// timeout. A read that times out is re-issued under a fresh id after a
+// linear backoff; one that exhausts the retry budget completes poisoned
+// (MemRequest::poisoned) so the core side can account the loss instead of
+// hanging. Responses to superseded ids are counted, not delivered. None of
+// this machinery exists at runtime when faults are disabled — no timer
+// events, no extra state — preserving byte-identical fault-free runs.
 #pragma once
 
 #include <functional>
 #include <unordered_map>
 
 #include "hmc/hmc_device.hpp"
+#include "sim/timeout.hpp"
 
 namespace camps::hmc {
 
@@ -22,7 +31,9 @@ class HostController final {
                  const prefetch::SchemeParams& params, StatRegistry* stats,
                  obs::TraceRecorder* trace = nullptr);
 
-  /// Issues a read; `on_done` fires when the response returns.
+  /// Issues a read; `on_done` fires when the response returns (or when the
+  /// request is poisoned after exhausting the retry budget — check
+  /// MemRequest::poisoned).
   u64 read(Addr addr, CoreId core, CompletionFn on_done);
 
   /// Issues a posted write (no completion callback).
@@ -37,6 +48,10 @@ class HostController final {
   u64 reads_issued() const { return reads_; }
   u64 writes_issued() const { return writes_; }
   u64 reads_completed() const { return completed_; }
+  /// Reads completed with the poison marker after retry exhaustion.
+  u64 reads_poisoned() const { return poisoned_; }
+  /// Timeout-driven re-issues (each consumes one unit of retry budget).
+  u64 retries_issued() const { return retries_; }
   /// Mean read latency in CPU cycles (submission -> delivery).
   double mean_read_latency_cycles() const;
   const Histogram& latency_histogram() const { return latency_; }
@@ -50,18 +65,38 @@ class HostController final {
 
  private:
   friend struct check::TestCorruptor;
+
+  /// One outstanding read. `attempt` counts issues of this logical request
+  /// (1 = original); each retry re-keys the entry under a fresh id so a
+  /// late response to a superseded id is identifiable instead of being
+  /// mistaken for the retry's answer.
+  struct Pending {
+    CompletionFn on_done;
+    Addr addr = 0;
+    CoreId core = 0;
+    Tick first_created = 0;  ///< Original issue; latency baseline.
+    u32 attempt = 1;
+    sim::TimeoutScheduler::Handle timer = 0;  ///< 0: no timer armed.
+  };
+
   void deliver(const MemRequest& request);
+  void arm_timeout(u64 id, Tick delay);
+  void on_timeout(u64 id);
+  /// Re-submits `pending` under a fresh id after `backoff` ticks.
+  void reissue(Pending pending, Tick backoff);
 
   sim::Simulator& sim_;
   HmcDevice device_;
   obs::TraceRecorder* trace_ = nullptr;
   // Keyed lookup/erase only — never iterated for ordered output, so the
   // unspecified iteration order cannot leak into results.
-  std::unordered_map<u64, CompletionFn> outstanding_;  // camps-lint: allow(determinism)
+  std::unordered_map<u64, Pending> outstanding_;  // camps-lint: allow(determinism)
+  sim::TimeoutScheduler timeouts_;
   Histogram latency_{/*bucket_width=*/25, /*num_buckets=*/128};
   Histogram* h_lat_total_read_ = nullptr;  ///< Registry copy of latency_.
   u64 next_id_ = 1;
   u64 reads_ = 0, writes_ = 0, completed_ = 0;
+  u64 poisoned_ = 0, retries_ = 0;
   u64 latency_cycles_total_ = 0;
 };
 

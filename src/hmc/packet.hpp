@@ -20,6 +20,11 @@ struct MemRequest {
   AccessType type = AccessType::kRead;
   CoreId core = 0;        ///< Originating core (for per-core stats).
   Tick created = 0;       ///< Tick the request entered the host controller.
+  /// Set by the host controller's fault-recovery path when the request
+  /// exhausted its retry budget: the completion carries no valid data and
+  /// downstream consumers must treat it as an error sentinel. Always false
+  /// when fault injection is disabled.
+  bool poisoned = false;
 };
 
 enum class PacketKind : u8 { kReadReq, kWriteReq, kReadResp };

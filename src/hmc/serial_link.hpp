@@ -8,11 +8,27 @@
 // which is conservative for prefetching results (links look slightly more
 // congested than reality, never less). A fixed SerDes+flight latency is
 // added on top.
+// Reliability (fault-injection extension): each direction carries a
+// sequence-numbered retry buffer. Every packet is held until the far end's
+// implicit acknowledgement returns (one flight time after delivery); a
+// CRC-failed transfer is replayed from the buffer — re-serialized after
+// the retry request comes back — so the far end still receives the packet
+// byte-identically, just later. Token-based flow control (link_tokens > 0)
+// models the HMC credit loop: a packet may not start serializing until
+// enough flit credits have returned from previously delivered packets.
+// Both mechanisms are inert (zero cost, zero state) unless a FaultPlan is
+// attached or tokens are configured.
 #pragma once
+
+#include <deque>
 
 #include "common/types.hpp"
 #include "hmc/packet.hpp"
 #include "obs/trace_recorder.hpp"
+
+namespace camps::fault {
+class FaultPlan;
+}  // namespace camps::fault
 
 namespace camps::hmc {
 
@@ -21,6 +37,15 @@ struct LinkParams {
   double gbps_per_lane = 12.5;
   /// One-way SerDes + propagation latency, in ticks (default 4 ns).
   Tick flight_ticks = 96;
+
+  /// Flow-control credits per direction, in flits. 0 disables the token
+  /// loop entirely (the paper's configuration: links are never the
+  /// credit-limited resource). When enabled, a packet's serialization
+  /// stalls until enough credits have returned.
+  u32 tokens = 0;
+  /// Credit-loop latency: a delivered packet's tokens return this long
+  /// after delivery (default: one flight time back).
+  Tick token_return_ticks = 96;
 
   /// Link power management (extension; cf. Ahn et al., IEEE TVLSI 2016 —
   /// the paper's reference [13]): after `sleep_timeout` idle ticks the
@@ -38,11 +63,21 @@ class LinkDirection {
   explicit LinkDirection(const LinkParams& params = {});
 
   /// A packet's passage through this direction: serialization begins at
-  /// `start` (>= submission time when the pipe is backed up or waking) and
-  /// the far end receives the last flit at `deliver`.
+  /// `start` (>= submission time when the pipe is backed up, waking, or
+  /// waiting for flow-control credits) and the far end receives the last
+  /// flit at `deliver`.
   struct Transfer {
     Tick start = 0;
     Tick deliver = 0;
+    /// Retry-buffer sequence number assigned to this packet.
+    u64 sequence = 0;
+    /// CRC replays this packet needed before clean delivery (0 normally).
+    u32 replays = 0;
+    /// The transfer was lost beyond the retry buffer's ability to recover
+    /// (injected unrecoverable fault): `deliver` is meaningless and the
+    /// caller must not forward the packet. Recovery is the requester's
+    /// problem (host timeout path).
+    bool dropped = false;
   };
 
   /// Accepts a packet at `now`; returns its delivery tick at the far end.
@@ -64,6 +99,15 @@ class LinkDirection {
     trace_track_ = track;
   }
 
+  /// Arms fault injection: `plan` decides which packets CRC-fail or drop.
+  /// `link_index` identifies this link in the plan's per-site sequence
+  /// space; `upstream` selects the direction's fault sites.
+  void attach_faults(fault::FaultPlan* plan, u32 link_index, bool upstream) {
+    plan_ = plan;
+    fault_unit_ = link_index;
+    fault_upstream_ = upstream;
+  }
+
   /// Serialization ticks for `flits` flits at this link's bandwidth.
   Tick serialization_ticks(u32 flits) const;
 
@@ -77,6 +121,19 @@ class LinkDirection {
   u64 wakeups() const { return wakeups_; }
   Tick ticks_asleep() const { return ticks_asleep_; }
 
+  // --- reliability statistics (0 unless faults/tokens armed) ------------
+  u64 crc_errors() const { return crc_errors_; }
+  u64 replays() const { return replays_; }
+  u64 drops() const { return drops_; }
+  /// Packets held in the retry buffer awaiting acknowledgement, as of the
+  /// last submit (acks are reaped lazily).
+  size_t retry_buffer_depth() const { return retry_buffer_.size(); }
+  /// Flow-control credits currently available (== params.tokens when the
+  /// loop is disabled or idle).
+  u32 tokens_available() const { return tokens_available_; }
+  /// Credits still travelling back from delivered packets.
+  u32 tokens_pending() const;
+
   /// Zeroes traffic statistics (the in-flight reservation is untouched);
   /// marks the warmup boundary.
   void reset_stats() {
@@ -85,19 +142,49 @@ class LinkDirection {
     packets_carried_ = 0;
     wakeups_ = 0;
     ticks_asleep_ = 0;
+    crc_errors_ = 0;
+    replays_ = 0;
+    drops_ = 0;
   }
 
  private:
+  /// A packet parked in the retry buffer until its ack returns.
+  struct RetryEntry {
+    u64 sequence = 0;
+    u32 flits = 0;
+    Tick ack_tick = 0;  ///< When the far end's acknowledgement arrives.
+  };
+  /// Tokens on their way back from a delivered packet.
+  struct TokenReturn {
+    Tick at = 0;
+    u32 flits = 0;
+  };
+
+  /// Reaps acknowledged retry entries and returned tokens up to `now`.
+  void reap(Tick now);
+
   LinkParams p_;
   obs::TraceRecorder* trace_ = nullptr;
   obs::Stage trace_stage_ = obs::Stage::kLinkDown;
   u32 trace_track_ = 0;
+  fault::FaultPlan* plan_ = nullptr;
+  u32 fault_unit_ = 0;
+  bool fault_upstream_ = false;
   Tick busy_until_ = 0;
   Tick busy_ticks_ = 0;
   u64 flits_carried_ = 0;
   u64 packets_carried_ = 0;
   u64 wakeups_ = 0;
   Tick ticks_asleep_ = 0;
+
+  // Reliability state. All empty/zero when faults and tokens are off.
+  u64 seq_next_ = 0;
+  std::deque<RetryEntry> retry_buffer_;   ///< FIFO by ack_tick.
+  std::deque<TokenReturn> token_returns_; ///< FIFO by return tick.
+  u32 tokens_available_ = 0;  ///< Initialized from p_.tokens.
+  u64 crc_errors_ = 0;
+  u64 replays_ = 0;
+  u64 drops_ = 0;
 };
 
 /// A full-duplex link: requests flow downstream, responses upstream.

@@ -67,7 +67,32 @@ void VaultController::reset_stats() {
   n_rb_hit_ = n_rb_empty_ = n_rb_conflict_ = 0;
   n_reads_ = n_writes_ = 0;
   n_prefetch_issued_ = n_prefetch_dropped_ = 0;
+  n_degrade_flushes_ = 0;
   buffer_.reset_stats();
+}
+
+void VaultController::degrade_flush() {
+  // Drop prefetch work that has not yet touched a bank. Actions whose row
+  // copy is already issued keep running: their complete_fetch events are
+  // in flight and will insert into the (now empty) buffer harmlessly.
+  for (auto it = actions_.begin(); it != actions_.end();) {
+    if (!it->fetch_issued) {
+      ++n_prefetch_dropped_;
+      it = actions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Evict everything with the normal bookkeeping so usefulness accounting
+  // and dirty writebacks stay consistent with ordinary evictions.
+  for (const prefetch::EvictedRow& victim : buffer_.flush()) {
+    scheme_->on_prefetch_evicted(victim.id, victim.referenced);
+    if (victim.dirty && energy_ != nullptr) {
+      energy_->add(EnergyEvent::kRowWriteback);
+    }
+  }
+  scheme_->on_fault_flush();
+  ++n_degrade_flushes_;
 }
 
 void VaultController::receive(const MemRequest& request,

@@ -94,6 +94,17 @@ class VaultController final {
   u64 prefetches_issued() const { return n_prefetch_issued_; }
   u64 prefetches_dropped() const { return n_prefetch_dropped_; }
 
+  /// Fault-recovery degradation: quiesces this vault's prefetch state
+  /// after repeated faults. Un-issued prefetch actions are dropped (copies
+  /// already issued to a bank complete normally — their events are in
+  /// flight), every buffered row is evicted with the usual usefulness and
+  /// dirty-writeback notifications, and the scheme's profiling tables are
+  /// emptied via PrefetchScheme::on_fault_flush(). Empty tables satisfy
+  /// the RUT/CT hand-off invariants trivially, so a flush in the middle of
+  /// traffic stays audit-clean. Demand service is unaffected.
+  void degrade_flush();
+  u64 degrade_flushes() const { return n_degrade_flushes_; }
+
   /// Zeroes counters (scheduler and buffer contents are untouched); marks
   /// the warmup / measurement boundary.
   void reset_stats();
@@ -219,6 +230,7 @@ class VaultController final {
   u64 n_rb_hit_ = 0, n_rb_empty_ = 0, n_rb_conflict_ = 0;
   u64 n_reads_ = 0, n_writes_ = 0;
   u64 n_prefetch_issued_ = 0, n_prefetch_dropped_ = 0;
+  u64 n_degrade_flushes_ = 0;
   Counter* c_rb_hit_ = nullptr;
   Counter* c_rb_empty_ = nullptr;
   Counter* c_rb_conflict_ = nullptr;

@@ -193,6 +193,15 @@ bool PrefetchBuffer::evict(BankRow row) {
   return true;
 }
 
+std::vector<EvictedRow> PrefetchBuffer::flush() {
+  std::vector<EvictedRow> victims;
+  victims.reserve(mru_order_.size());
+  while (!mru_order_.empty()) {
+    victims.push_back(pop_slot(mru_order_.front()));
+  }
+  return victims;
+}
+
 void PrefetchBuffer::reset_stats() {
   hits_ = misses_ = inserts_ = evictions_ = 0;
   evicted_unreferenced_ = dirty_writebacks_ = 0;

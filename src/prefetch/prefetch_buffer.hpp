@@ -94,6 +94,11 @@ class PrefetchBuffer final {
   /// Drops a resident row without statistics (used by tests/invalidation).
   bool evict(BankRow row);
 
+  /// Evicts every resident row (MRU first), with full eviction accounting,
+  /// and returns the victims so the caller can run the usual usefulness /
+  /// writeback notifications. Used by the vault's fault-degradation path.
+  std::vector<EvictedRow> flush();
+
   /// Records a lookup miss observed by the controller (which checks
   /// residency with contains() and only calls access() on hits).
   void count_miss() { ++misses_; }

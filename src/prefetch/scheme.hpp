@@ -70,6 +70,13 @@ class PrefetchScheme {
   /// whether any of its lines were demanded (MMD's usefulness feedback).
   virtual void on_prefetch_evicted(BankRow /*row*/, bool /*was_used*/) {}
 
+  /// Called when the vault degrades under repeated faults and flushes its
+  /// prefetch state: the scheme must drop every profiling entry (RUT, CT,
+  /// stream tables, ...) so no table references rows whose buffer copies
+  /// are gone. Empty tables trivially satisfy every hand-off invariant, so
+  /// a flush is always audit-clean. Stateless schemes need nothing.
+  virtual void on_fault_flush() {}
+
   virtual std::string name() const = 0;
 
   /// Replacement policy this scheme pairs with (Section 5 fixes LRU for

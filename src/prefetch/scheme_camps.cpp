@@ -96,6 +96,17 @@ PrefetchDecision CampsScheme::on_demand_access(const AccessContext& ctx) {
   return {};
 }
 
+void CampsScheme::on_fault_flush() {
+#if CAMPS_AUDIT_TRANSITIONS
+  struct TransitionAudit {
+    const CampsScheme* self;
+    ~TransitionAudit() { audit_transition(*self); }
+  } audit_on_exit{this};
+#endif
+  for (BankId bank = 0; bank < rut_.banks(); ++bank) rut_.remove(bank);
+  for (const BankRow& id : ct_.snapshot()) ct_.remove(id);
+}
+
 std::unique_ptr<ReplacementPolicy> CampsScheme::make_replacement() const {
   return p_.modified_replacement ? make_utilization_recency() : make_lru();
 }

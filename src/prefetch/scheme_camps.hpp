@@ -43,6 +43,10 @@ class CampsScheme final : public PrefetchScheme {
   explicit CampsScheme(const CampsParams& params = {});
 
   PrefetchDecision on_demand_access(const AccessContext& ctx) override;
+  /// Degradation flush (fault recovery): empties the RUT and CT wholesale.
+  /// Empty tables trivially satisfy the exclusivity invariant, so the
+  /// hand-off state cannot be corrupted mid-flight.
+  void on_fault_flush() override;
   std::string name() const override {
     return p_.modified_replacement ? "CAMPS-MOD" : "CAMPS";
   }

@@ -1,0 +1,56 @@
+// Cancellable, generation-safe timeout timers on top of the Simulator.
+//
+// The event queue has no removal operation (events are cheap, removal is
+// not), so a cancelled timeout leaves a dead event behind that fires as a
+// no-op. TimeoutScheduler wraps the pattern: arm() returns a handle,
+// cancel() invalidates it, and the wrapped event checks liveness before
+// invoking the callback. Handles are never reused, so a late cancel of an
+// already-fired timer is a harmless no-op rather than a use-after-free of
+// a recycled slot.
+//
+// Note: an armed-then-cancelled timer still counts toward
+// Simulator::events_executed() when its dead event fires. Components that
+// must keep event counts identical to a configuration without timers (the
+// fault-free byte-identity guarantee) must not arm timers at all in that
+// configuration, rather than arm-and-cancel.
+#pragma once
+
+#include <functional>
+#include <set>
+
+#include "sim/simulator.hpp"
+
+namespace camps::sim {
+
+class TimeoutScheduler final {
+ public:
+  using Handle = u64;
+
+  explicit TimeoutScheduler(Simulator& sim) : sim_(sim) {}
+  TimeoutScheduler(const TimeoutScheduler&) = delete;
+  TimeoutScheduler& operator=(const TimeoutScheduler&) = delete;
+
+  /// Schedules `fn` to run `delay` ticks from now unless cancelled first.
+  Handle arm(Tick delay, std::function<void()> fn) {
+    const Handle h = next_++;
+    live_.insert(h);
+    sim_.schedule(delay, [this, h, fn = std::move(fn)] {
+      if (live_.erase(h) == 0) return;  // cancelled before firing
+      fn();
+    });
+    return h;
+  }
+
+  /// Returns true if the timer was still pending (and is now disarmed).
+  bool cancel(Handle h) { return live_.erase(h) != 0; }
+
+  /// Timers armed and neither fired nor cancelled.
+  size_t pending() const { return live_.size(); }
+
+ private:
+  Simulator& sim_;
+  Handle next_ = 1;
+  std::set<Handle> live_;  ///< Ordered: deterministic and audit-friendly.
+};
+
+}  // namespace camps::sim

@@ -1,5 +1,8 @@
 #include "system/config.hpp"
 
+#include <string>
+#include <vector>
+
 namespace camps::system {
 
 trace::PatternGeometry SystemConfig::pattern_geometry() const {
@@ -32,6 +35,24 @@ SystemConfig hmc_gen1_config(prefetch::SchemeKind scheme) {
 }
 
 SystemConfig apply_overrides(SystemConfig base, const ConfigFile& cfg) {
+  // Every key this function reads. A key outside this list is a typo (or a
+  // stale experiment file) and must fail loudly, not silently default.
+  static const std::vector<std::string> kKnownKeys = {
+      "cores", "seed", "max_cycles", "audit_every",
+      "core.issue_width", "core.max_outstanding", "core.warmup",
+      "core.measure",
+      "hmc.vaults", "hmc.banks", "hmc.links", "hmc.rows_per_bank",
+      "buffer.entries", "buffer.hit_latency",
+      "camps.threshold", "camps.conflict_entries", "mmd.max_degree",
+      "scheme",
+      "fault.link_crc_rate", "fault.link_drop_rate", "fault.xbar_drop_rate",
+      "fault.vault_stall_rate", "fault.vault_stall_ticks",
+      "fault.host_timeout_ticks", "fault.host_backoff_ticks",
+      "fault.retry_budget", "fault.degrade_threshold", "fault.link_tokens",
+      "fault.seed",
+  };
+  cfg.require_known(kKnownKeys);
+
   base.cores = static_cast<u32>(cfg.get_uint("cores", base.cores));
   base.seed = cfg.get_uint("seed", base.seed);
   base.max_cycles = cfg.get_uint("max_cycles", base.max_cycles);
@@ -73,6 +94,26 @@ SystemConfig apply_overrides(SystemConfig base, const ConfigFile& cfg) {
   if (cfg.has("scheme")) {
     base.scheme = prefetch::scheme_from_string(cfg.get_string("scheme"));
   }
+
+  fault::FaultConfig& f = base.hmc.fault;
+  f.link_crc_rate = cfg.get_double("fault.link_crc_rate", f.link_crc_rate);
+  f.link_drop_rate = cfg.get_double("fault.link_drop_rate", f.link_drop_rate);
+  f.xbar_drop_rate = cfg.get_double("fault.xbar_drop_rate", f.xbar_drop_rate);
+  f.vault_stall_rate =
+      cfg.get_double("fault.vault_stall_rate", f.vault_stall_rate);
+  f.vault_stall_ticks =
+      cfg.get_uint("fault.vault_stall_ticks", f.vault_stall_ticks);
+  f.host_timeout_ticks =
+      cfg.get_uint("fault.host_timeout_ticks", f.host_timeout_ticks);
+  f.host_backoff_ticks =
+      cfg.get_uint("fault.host_backoff_ticks", f.host_backoff_ticks);
+  f.host_retry_budget = static_cast<u32>(
+      cfg.get_uint("fault.retry_budget", f.host_retry_budget));
+  f.vault_degrade_threshold = static_cast<u32>(
+      cfg.get_uint("fault.degrade_threshold", f.vault_degrade_threshold));
+  f.link_tokens =
+      static_cast<u32>(cfg.get_uint("fault.link_tokens", f.link_tokens));
+  f.seed = cfg.get_uint("fault.seed", f.seed);
   return base;
 }
 

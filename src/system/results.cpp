@@ -64,6 +64,20 @@ std::string RunResults::summary() const {
           << row.stats->p95 << "  (" << row.stats->count << " samples)\n";
     }
   }
+  if (faults.active) {
+    out << "faults injected  : " << faults.injected() << "  (crc "
+        << faults.crc_errors << ", drops "
+        << faults.link_drops + faults.xbar_drops << ", stalls "
+        << faults.vault_stalls << ")\n";
+    out << "fault recovery   : " << faults.replays << " replays, "
+        << faults.host_retries << " retries, " << faults.host_poisoned
+        << " poisoned, " << faults.degrade_flushes << " degrade flushes\n";
+    if (faults.recovery.count > 0) {
+      out << "recovery latency : " << faults.recovery.mean << " / "
+          << faults.recovery.p95 << " cycles (mean / p95, "
+          << faults.recovery.count << " samples)\n";
+    }
+  }
   return out.str();
 }
 
@@ -120,6 +134,32 @@ std::string RunResults::to_json(int indent) const {
   w.end_object();
   w.field("trace_recorded", trace_recorded);
   w.field("trace_dropped", trace_dropped);
+  if (faults.active) {
+    // Emitted only under fault injection so fault-free JSON stays
+    // byte-identical to output from before the subsystem existed.
+    w.key("faults");
+    w.begin_object();
+    w.field("injected", faults.injected());
+    w.field("crc_errors", faults.crc_errors);
+    w.field("replays", faults.replays);
+    w.field("link_drops", faults.link_drops);
+    w.field("xbar_drops", faults.xbar_drops);
+    w.field("vault_stalls", faults.vault_stalls);
+    w.field("host_retries", faults.host_retries);
+    w.field("host_poisoned", faults.host_poisoned);
+    w.field("late_responses", faults.late_responses);
+    w.field("degrade_flushes", faults.degrade_flushes);
+    w.field("token_stall_ticks", faults.token_stall_ticks);
+    w.key("recovery");
+    w.begin_object();
+    w.field("count", faults.recovery.count);
+    w.field("mean", faults.recovery.mean);
+    w.field("p50", faults.recovery.p50);
+    w.field("p95", faults.recovery.p95);
+    w.field("p99", faults.recovery.p99);
+    w.end_object();
+    w.end_object();
+  }
   w.end_object();
   return w.str();
 }

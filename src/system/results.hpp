@@ -34,6 +34,32 @@ struct LatencyBreakdown {
   StageStats total_read;    ///< Whole round trip (host submit -> deliver).
 };
 
+/// Fault-injection accounting for one run. `active` is false (and every
+/// count zero) when the run had no FaultPlan; the JSON omits the whole
+/// object then, keeping fault-free output byte-identical to builds that
+/// predate the subsystem.
+struct FaultSummary {
+  bool active = false;
+  u64 crc_errors = 0;       ///< Link transfers that failed CRC.
+  u64 replays = 0;          ///< Packets re-delivered from a retry buffer.
+  u64 link_drops = 0;       ///< Transfers lost beyond replay.
+  u64 xbar_drops = 0;       ///< Crossbar grants dropped.
+  u64 vault_stalls = 0;     ///< Vault responses delayed by a stall fault.
+  u64 host_retries = 0;     ///< Timeout-driven re-issues at the host.
+  u64 host_poisoned = 0;    ///< Reads completed poisoned (budget spent).
+  u64 late_responses = 0;   ///< Responses that lost the race to a retry.
+  u64 degrade_flushes = 0;  ///< Vault prefetch-state quiesce events.
+  u64 token_stall_ticks = 0;  ///< Ticks serialization waited for credits.
+  /// Recovery latency per recovered/poisoned fault (CPU cycles).
+  StageStats recovery;
+
+  /// Faults injected into the fabric (drops/stalls/CRC errors); every one
+  /// must show up again as a replay, retry, or poisoned completion.
+  u64 injected() const {
+    return crc_errors + link_drops + xbar_drops + vault_stalls;
+  }
+};
+
 struct CoreResult {
   double ipc = 0.0;          ///< Measured-window IPC.
   u64 instructions = 0;      ///< Instructions inside the window.
@@ -86,6 +112,10 @@ struct RunResults {
 
   /// Per-stage latency breakdown (populated when the run had a registry).
   LatencyBreakdown latency;
+
+  /// Fault-injection accounting (inactive unless the run carried a
+  /// FaultPlan; see fault/fault_config.hpp).
+  FaultSummary faults;
 
   // Request-lifecycle trace (empty unless SystemConfig::obs enabled it).
   // Shared so RunResults stays cheaply copyable in the sweep caches.

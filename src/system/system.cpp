@@ -240,6 +240,21 @@ RunResults System::collect_results() const {
     r.epochs = std::make_shared<const std::vector<obs::EpochSample>>(
         epoch_sampler_->samples());
   }
+  if (device.fault_plan() != nullptr) {
+    r.faults.active = true;
+    r.faults.crc_errors = stats_.counter_value("fault.crc_errors");
+    r.faults.replays = stats_.counter_value("fault.replays");
+    r.faults.link_drops = stats_.counter_value("fault.link_drops");
+    r.faults.xbar_drops = stats_.counter_value("fault.xbar_drops");
+    r.faults.vault_stalls = stats_.counter_value("fault.vault_stalls");
+    r.faults.host_retries = stats_.counter_value("fault.host_retries");
+    r.faults.host_poisoned = stats_.counter_value("fault.host_poisoned");
+    r.faults.late_responses = stats_.counter_value("fault.late_responses");
+    r.faults.degrade_flushes = stats_.counter_value("fault.degrade_flushes");
+    r.faults.token_stall_ticks =
+        stats_.counter_value("fault.token_stall_ticks");
+    r.faults.recovery = stage_of("fault.recovery_cycles");
+  }
   return r;
 }
 

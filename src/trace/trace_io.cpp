@@ -31,6 +31,8 @@ void put_u64(std::ostream& out, u64 v) {
 u32 get_u32(std::istream& in) {
   std::array<unsigned char, 4> b;
   in.read(reinterpret_cast<char*>(b.data()), 4);
+  // Checked before decoding: a short read leaves the array uninitialized.
+  if (!in) throw std::runtime_error("trace file: unexpected end of file");
   u32 v = 0;
   for (int i = 3; i >= 0; --i) v = (v << 8) | b[static_cast<size_t>(i)];
   return v;
@@ -39,6 +41,7 @@ u32 get_u32(std::istream& in) {
 u64 get_u64(std::istream& in) {
   std::array<unsigned char, 8> b;
   in.read(reinterpret_cast<char*>(b.data()), 8);
+  if (!in) throw std::runtime_error("trace file: unexpected end of file");
   u64 v = 0;
   for (int i = 7; i >= 0; --i) v = (v << 8) | b[static_cast<size_t>(i)];
   return v;
@@ -86,6 +89,7 @@ TraceRecord read_record_v1(std::istream& in) {
   r.gap = get_u32(in);
   std::array<char, 4> tp;
   in.read(tp.data(), 4);
+  if (!in) throw std::runtime_error("trace file: unexpected end of file");
   if (tp[1] != 0 || tp[2] != 0 || tp[3] != 0) {
     throw std::runtime_error("trace file: nonzero pad bytes (corrupt record)");
   }
@@ -152,7 +156,13 @@ void write_header(std::ostream& out, u32 version, u64 count) {
 u32 read_header(std::istream& in, u64& count) {
   char magic[8];
   in.read(magic, 8);
-  if (!in || std::memcmp(magic, kMagic, 8) != 0) {
+  if (in.gcount() == 0) {
+    throw std::runtime_error("trace file: empty file (no header)");
+  }
+  if (in.gcount() < 8) {
+    throw std::runtime_error("trace file: truncated header");
+  }
+  if (std::memcmp(magic, kMagic, 8) != 0) {
     throw std::runtime_error("trace file: bad magic");
   }
   const u32 version = get_u32(in);
@@ -161,8 +171,21 @@ u32 read_header(std::istream& in, u64& count) {
                              std::to_string(version));
   }
   count = get_u64(in);
-  if (!in) throw std::runtime_error("trace file: truncated header");
   return version;
+}
+
+/// Reads record `index` (0-based) of `total`, rethrowing any decode error
+/// with the record's position so a corrupt file points at itself.
+TraceRecord read_record(std::istream& in, u32 version, Addr& prev_addr,
+                        u64 index, u64 total) {
+  try {
+    return version == kVersionFixed ? read_record_v1(in)
+                                    : read_record_v2(in, prev_addr);
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error(std::string(e.what()) + " (record " +
+                             std::to_string(index + 1) + " of " +
+                             std::to_string(total) + ")");
+  }
 }
 
 }  // namespace
@@ -197,9 +220,14 @@ std::vector<TraceRecord> read_trace_file(const std::string& path) {
   records.reserve(count);
   Addr prev = 0;
   for (u64 i = 0; i < count; ++i) {
-    records.push_back(version == kVersionFixed ? read_record_v1(in)
-                                               : read_record_v2(in, prev));
-    if (!in) throw std::runtime_error("trace file: truncated body");
+    records.push_back(read_record(in, version, prev, i, count));
+  }
+  // The header's count must describe the file exactly: trailing bytes mean
+  // the writer and header disagree (or the file was concatenated/corrupt).
+  if (in.peek() != std::char_traits<char>::eof()) {
+    throw std::runtime_error(
+        "trace file: trailing bytes after the " + std::to_string(count) +
+        " records declared in the header");
   }
   return records;
 }
@@ -225,10 +253,8 @@ TraceFileSource::~TraceFileSource() = default;
 
 std::optional<TraceRecord> TraceFileSource::next() {
   if (impl_->remaining == 0) return std::nullopt;
-  TraceRecord r = impl_->version == kVersionFixed
-                      ? read_record_v1(impl_->in)
-                      : read_record_v2(impl_->in, impl_->prev_addr);
-  if (!impl_->in) throw std::runtime_error("trace file: truncated body");
+  TraceRecord r = read_record(impl_->in, impl_->version, impl_->prev_addr,
+                              count_ - impl_->remaining, count_);
   --impl_->remaining;
   return r;
 }

@@ -110,6 +110,42 @@ TEST(ConfigFile, SetOverridesAndKeysSorted) {
   EXPECT_EQ(cfg.get_int("b"), 3);
 }
 
+TEST(ConfigFile, RequireKnownAcceptsExactKeys) {
+  const auto cfg = ConfigFile::parse("seed = 1\n[hmc]\nvaults = 32\n");
+  EXPECT_NO_THROW(cfg.require_known({"hmc.vaults", "seed", "unused.key"}));
+}
+
+TEST(ConfigFile, RequireKnownRejectsUnknownKey) {
+  const auto cfg = ConfigFile::parse("bogus = 1\n");
+  EXPECT_THROW(cfg.require_known({"seed"}), std::runtime_error);
+}
+
+TEST(ConfigFile, RequireKnownSuggestsNearMiss) {
+  // A typo'd key must fail loudly and point at the intended key.
+  const auto cfg = ConfigFile::parse("audit_evry = 1000\n");
+  try {
+    cfg.require_known({"audit_every", "seed", "cores"});
+    FAIL() << "unknown key was accepted";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("audit_evry"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("did you mean 'audit_every'"), std::string::npos)
+        << msg;
+  }
+}
+
+TEST(ConfigFile, RequireKnownListsEveryUnknownKey) {
+  const auto cfg = ConfigFile::parse("first_bad = 1\nsecond_bad = 2\n");
+  try {
+    cfg.require_known({"seed"});
+    FAIL() << "unknown keys were accepted";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("first_bad"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("second_bad"), std::string::npos) << msg;
+  }
+}
+
 TEST(ConfigFile, LoadMissingFileThrows) {
   EXPECT_THROW(ConfigFile::load("/nonexistent/path/cfg.ini"),
                std::runtime_error);

@@ -86,6 +86,36 @@ TEST(UtilRecency, NameStable) {
   EXPECT_EQ(UtilizationRecencyReplacement().name(), "util-recency");
 }
 
+TEST(UtilRecency, ExactVictimOrderPinned) {
+  // Regression pin of the full Section 3.2 ordering: fully-transferred
+  // rows leave first (lowest recency among them), then ascending
+  // utilization+recency score, score ties broken by lower utilization,
+  // then lower recency, then lower slot. Repeatedly evicting the chosen
+  // victim from a fixed population must reproduce this exact order; any
+  // change to the tie-break silently reshuffles buffer contents and skews
+  // every downstream figure, so the order is pinned verbatim.
+  UtilizationRecencyReplacement ur;
+  std::vector<VictimCandidate> pool = {
+      cand(0, 5, 10),              // score 15
+      cand(1, 16, 3, /*full=*/true),
+      cand(2, 2, 4),               // score 6, util 2
+      cand(3, 16, 7, /*full=*/true),
+      cand(4, 8, 1),               // score 9
+      cand(5, 2, 4),               // score 6, util 2, higher slot than 2
+      cand(6, 0, 6),               // score 6, util 0 -> first of the sixes
+      cand(7, 6, 0),               // score 6, util 6
+  };
+  const std::vector<u32> expected_order = {1, 3, 6, 2, 5, 7, 4, 0};
+  std::vector<u32> order;
+  while (!pool.empty()) {
+    const u32 victim = ur.pick_victim(pool);
+    order.push_back(victim);
+    std::erase_if(pool,
+                  [victim](const VictimCandidate& c) { return c.slot == victim; });
+  }
+  EXPECT_EQ(order, expected_order);
+}
+
 TEST(ReplacementFactories, ProduceCorrectTypes) {
   EXPECT_EQ(make_lru()->name(), "lru");
   EXPECT_EQ(make_utilization_recency()->name(), "util-recency");

@@ -1,6 +1,7 @@
 #include "system/config.hpp"
 
 #include <gtest/gtest.h>
+#include <string>
 
 namespace camps::system {
 namespace {
@@ -86,6 +87,57 @@ TEST(SystemConfig, BankOverrideKeepsVaultConsistent) {
 TEST(SystemConfig, BadSchemeNameThrows) {
   auto cfg = ConfigFile::parse("scheme = turbo\n");
   EXPECT_THROW(apply_overrides(table1_config(), cfg), std::out_of_range);
+}
+
+TEST(SystemConfig, MisspelledKeyFailsLoudly) {
+  // Regression: a typo'd key used to be silently ignored, leaving the
+  // default in force — e.g. audits that never ran. It must throw, naming
+  // the bad key and the intended one.
+  auto cfg = ConfigFile::parse("audit_evry = 100000\n");
+  try {
+    apply_overrides(table1_config(), cfg);
+    FAIL() << "misspelled key was accepted";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("audit_evry"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("audit_every"), std::string::npos) << msg;
+  }
+}
+
+TEST(SystemConfig, FaultOverridesApply) {
+  auto cfg = ConfigFile::parse(
+      "[fault]\n"
+      "link_crc_rate = 0.0001\n"
+      "link_drop_rate = 0.001\n"
+      "xbar_drop_rate = 0.002\n"
+      "vault_stall_rate = 0.003\n"
+      "vault_stall_ticks = 4800\n"
+      "host_timeout_ticks = 96000\n"
+      "host_backoff_ticks = 24000\n"
+      "retry_budget = 5\n"
+      "degrade_threshold = 8\n"
+      "link_tokens = 64\n"
+      "seed = 42\n");
+  const SystemConfig out = apply_overrides(table1_config(), cfg);
+  const fault::FaultConfig& f = out.hmc.fault;
+  EXPECT_DOUBLE_EQ(f.link_crc_rate, 0.0001);
+  EXPECT_DOUBLE_EQ(f.link_drop_rate, 0.001);
+  EXPECT_DOUBLE_EQ(f.xbar_drop_rate, 0.002);
+  EXPECT_DOUBLE_EQ(f.vault_stall_rate, 0.003);
+  EXPECT_EQ(f.vault_stall_ticks, 4800u);
+  EXPECT_EQ(f.host_timeout_ticks, 96000u);
+  EXPECT_EQ(f.host_backoff_ticks, 24000u);
+  EXPECT_EQ(f.host_retry_budget, 5u);
+  EXPECT_EQ(f.vault_degrade_threshold, 8u);
+  EXPECT_EQ(f.link_tokens, 64u);
+  EXPECT_EQ(f.seed, 42u);
+  EXPECT_TRUE(f.enabled());
+}
+
+TEST(SystemConfig, FaultsDisabledByDefault) {
+  const SystemConfig out =
+      apply_overrides(table1_config(), ConfigFile::parse(""));
+  EXPECT_FALSE(out.hmc.fault.enabled());
 }
 
 }  // namespace

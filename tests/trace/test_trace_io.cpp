@@ -125,6 +125,82 @@ TEST_F(TraceIoTest, UnsupportedVersionThrows) {
   EXPECT_THROW(read_trace_file(path_), std::runtime_error);
 }
 
+// --- malformed-input diagnostics -------------------------------------------
+
+/// Runs `fn`, returning the std::runtime_error message it throws ("" if it
+/// does not throw) so tests can pin the diagnostic text.
+template <typename Fn>
+std::string thrown_message(Fn&& fn) {
+  try {
+    fn();
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST_F(TraceIoTest, EmptyFileReportedAsEmptyNotBadMagic) {
+  { std::ofstream out(path_, std::ios::binary); }
+  const std::string msg = thrown_message([&] { read_trace_file(path_); });
+  EXPECT_NE(msg.find("empty file"), std::string::npos) << msg;
+  const std::string src_msg =
+      thrown_message([&] { TraceFileSource src(path_); });
+  EXPECT_NE(src_msg.find("empty file"), std::string::npos) << src_msg;
+}
+
+TEST_F(TraceIoTest, ShortHeaderReportedAsTruncatedHeader) {
+  std::ofstream(path_, std::ios::binary) << "CAM";
+  const std::string msg = thrown_message([&] { read_trace_file(path_); });
+  EXPECT_NE(msg.find("truncated header"), std::string::npos) << msg;
+}
+
+TEST_F(TraceIoTest, TruncatedBodyNamesTheFailingRecord) {
+  write_trace_file(path_, sample(10));
+  std::ifstream in(path_, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  data.resize(data.size() - 8);  // chop the last record in half
+  std::ofstream(path_, std::ios::binary | std::ios::trunc) << data;
+  const std::string msg = thrown_message([&] { read_trace_file(path_); });
+  EXPECT_NE(msg.find("record 10 of 10"), std::string::npos) << msg;
+}
+
+TEST_F(TraceIoTest, CorruptPadBytesNameTheFailingRecord) {
+  write_trace_file(path_, sample(3));
+  std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+  // 20-byte header + one 16-byte record; record 2's pad bytes start at
+  // offset 20 + 16 + 5.
+  f.seekp(41);
+  f.put(static_cast<char>(0xAB));
+  f.close();
+  const std::string msg = thrown_message([&] { read_trace_file(path_); });
+  EXPECT_NE(msg.find("pad bytes"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("record 2 of 3"), std::string::npos) << msg;
+}
+
+TEST_F(TraceIoTest, TrailingBytesAfterDeclaredCountThrow) {
+  write_trace_file(path_, sample(3));
+  std::ofstream(path_, std::ios::binary | std::ios::app) << '\x00';
+  const std::string msg = thrown_message([&] { read_trace_file(path_); });
+  EXPECT_NE(msg.find("trailing bytes"), std::string::npos) << msg;
+}
+
+TEST_F(TraceIoTest, StreamingSourceNamesTheFailingRecord) {
+  write_trace_file(path_, sample(4));
+  std::ifstream in(path_, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  data.resize(data.size() - 20);  // lose the last record and part of #3
+  std::ofstream(path_, std::ios::binary | std::ios::trunc) << data;
+  TraceFileSource src(path_);
+  EXPECT_TRUE(src.next().has_value());
+  EXPECT_TRUE(src.next().has_value());
+  const std::string msg = thrown_message([&] { src.next(); });
+  EXPECT_NE(msg.find("record 3 of 4"), std::string::npos) << msg;
+}
+
 // --- version 2 (compact varint-delta) --------------------------------------
 
 TEST_F(TraceIoTest, V2RoundTripSmall) {

@@ -24,6 +24,16 @@
 //     --epoch-csv=FILE   write the epoch time series as CSV
 //     --epoch-json=FILE  write the epoch time series as JSON
 //     --log-level=L      trace|debug|info|warn|error (default warn)
+//
+// Fault injection (docs/fault_injection.md; all off by default):
+//     --fault-rate=R             serial-link CRC-failure rate (per packet)
+//     --fault-link-drop=R        unrecoverable link-loss rate
+//     --fault-xbar-drop=R        crossbar grant-drop rate
+//     --fault-vault-stall=R      vault response-stall rate
+//     --fault-seed=N             fault-plan seed (default 1)
+//     --fault-retry-budget=N     host retries before poisoning (default 3)
+//     --fault-degrade-threshold=N  vault faults per degradation flush
+//     --fault-tokens=N           link flow-control credits (flits; 0 = off)
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -44,7 +54,12 @@ void usage(const char* argv0) {
                "          [--stats-json=FILE] [--trace-out=FILE] "
                "[--trace-cap=N]\n"
                "          [--epoch-ticks=N] [--epoch-csv=FILE] "
-               "[--epoch-json=FILE] [--log-level=L]\n",
+               "[--epoch-json=FILE] [--log-level=L]\n"
+               "          [--fault-rate=R] [--fault-link-drop=R] "
+               "[--fault-xbar-drop=R]\n"
+               "          [--fault-vault-stall=R] [--fault-seed=N] "
+               "[--fault-retry-budget=N]\n"
+               "          [--fault-degrade-threshold=N] [--fault-tokens=N]\n",
                argv0);
 }
 
@@ -68,6 +83,8 @@ int main(int argc, char** argv) {
   bool have_warmup = false, have_measure = false, have_seed = false;
   u64 audit_every = 0;
   bool have_audit = false;
+  fault::FaultConfig fault_cfg;
+  bool have_fault = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -111,6 +128,36 @@ int main(int argc, char** argv) {
       epoch_csv_path = value("--epoch-csv=");
     } else if (arg.rfind("--epoch-json=", 0) == 0) {
       epoch_json_path = value("--epoch-json=");
+    } else if (arg.rfind("--fault-rate=", 0) == 0) {
+      fault_cfg.link_crc_rate = std::strtod(value("--fault-rate="), nullptr);
+      have_fault = true;
+    } else if (arg.rfind("--fault-link-drop=", 0) == 0) {
+      fault_cfg.link_drop_rate =
+          std::strtod(value("--fault-link-drop="), nullptr);
+      have_fault = true;
+    } else if (arg.rfind("--fault-xbar-drop=", 0) == 0) {
+      fault_cfg.xbar_drop_rate =
+          std::strtod(value("--fault-xbar-drop="), nullptr);
+      have_fault = true;
+    } else if (arg.rfind("--fault-vault-stall=", 0) == 0) {
+      fault_cfg.vault_stall_rate =
+          std::strtod(value("--fault-vault-stall="), nullptr);
+      have_fault = true;
+    } else if (arg.rfind("--fault-seed=", 0) == 0) {
+      fault_cfg.seed = std::strtoull(value("--fault-seed="), nullptr, 10);
+      have_fault = true;
+    } else if (arg.rfind("--fault-retry-budget=", 0) == 0) {
+      fault_cfg.host_retry_budget = static_cast<u32>(
+          std::strtoul(value("--fault-retry-budget="), nullptr, 10));
+      have_fault = true;
+    } else if (arg.rfind("--fault-degrade-threshold=", 0) == 0) {
+      fault_cfg.vault_degrade_threshold = static_cast<u32>(
+          std::strtoul(value("--fault-degrade-threshold="), nullptr, 10));
+      have_fault = true;
+    } else if (arg.rfind("--fault-tokens=", 0) == 0) {
+      fault_cfg.link_tokens = static_cast<u32>(
+          std::strtoul(value("--fault-tokens="), nullptr, 10));
+      have_fault = true;
     } else if (arg.rfind("--log-level=", 0) == 0) {
       const std::string level = value("--log-level=");
       if (level == "trace") {
@@ -153,6 +200,10 @@ int main(int argc, char** argv) {
     if (have_measure) cfg.core.measure_instructions = measure;
     if (have_seed) cfg.seed = seed;
     if (have_audit) cfg.audit_every = audit_every;
+    // Fault flags override the config file field-by-field: an explicit
+    // --fault-* flag replaces the whole fault block with the flag-built one
+    // seeded from defaults, matching how the other flags win.
+    if (have_fault) cfg.hmc.fault = fault_cfg;
     cfg.obs.trace_enabled = !trace_out_path.empty();
     if (trace_cap > 0) cfg.obs.trace_capacity = static_cast<u32>(trace_cap);
     // An epoch output without an explicit period gets a sensible default

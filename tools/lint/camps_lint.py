@@ -4,7 +4,7 @@
 Rules
 -----
 determinism   In the simulation-critical trees (src/sim, src/hmc,
-              src/prefetch) forbid randomness sources (rand, srand,
+              src/prefetch, src/fault) forbid randomness sources (rand, srand,
               std::random_device), wall-clock reads (system_clock,
               steady_clock, gettimeofday, clock(), time(nullptr)), and
               iteration-order-dependent containers (std::unordered_*).
@@ -29,7 +29,7 @@ import re
 import sys
 from pathlib import Path
 
-DETERMINISTIC_TREES = ("src/sim", "src/hmc", "src/prefetch")
+DETERMINISTIC_TREES = ("src/sim", "src/hmc", "src/prefetch", "src/fault")
 
 DETERMINISM_PATTERNS = [
     (re.compile(r"\bstd::random_device\b"), "std::random_device"),
